@@ -1,0 +1,179 @@
+// Figure 14: overhead breakdowns.
+//   (a) TTFT breakdown (network / compute / decode / dequant) per method
+//   (b) prefill TFLOPs vs CacheGen decode compute
+//   (c) offline encode delay (measured wall-clock, all levels)
+//   (d) storage cost: fp16 original vs 8-bit quant vs CacheGen's level ladder
+// plus google-benchmark microbenchmarks of the codec itself (encode/decode
+// throughput, range-coder throughput).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+#include "ac/range_decoder.h"
+#include "ac/range_encoder.h"
+#include "baselines/quant_baseline.h"
+#include "bench_common.h"
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "common/rng.h"
+
+using namespace cachegen;
+
+namespace {
+
+Engine& SharedEngine() {
+  static Engine engine(bench::FastEngineOptions("mistral-7b"));
+  return engine;
+}
+
+void PrintPanels() {
+  Engine& engine = SharedEngine();
+  TTFTModel ttft = engine.MakeTTFTModel();
+  bench::PrintHeader("Figure 14: overhead breakdowns",
+                     "Mistral-7B, 9.6K-token context, 3 Gbps");
+
+  std::printf("\n(a) TTFT breakdown (seconds)\n");
+  TablePrinter a({"Method", "Network", "Compute", "Decode", "Dequant", "Total"});
+  auto add = [&](const std::string& name, const TTFTBreakdown& b) {
+    a.AddRow({name, TablePrinter::Fmt(b.network_s, 2),
+              TablePrinter::Fmt(b.compute_s + b.prompt_s, 2),
+              TablePrinter::Fmt(b.decode_exposed_s, 2),
+              TablePrinter::Fmt(b.dequant_s, 2), TablePrinter::Fmt(b.Total(), 2)});
+  };
+  add("Text", ttft.Text(9600, 3.0));
+  add("Quant-8", ttft.Quant(8, 9600, 3.0));
+  add("CacheGen", ttft.CacheGen(9600, 3.0));
+  add("CacheGen (no pipeline)", ttft.CacheGen(9600, 3.0, 1.0, 1, false));
+  std::printf("%s", a.Render().c_str());
+
+  std::printf("\n(b) compute (TFLOPs-equivalent)\n");
+  TablePrinter b({"Method", "TFLOP"});
+  b.AddRow({"Text (prefill)",
+            TablePrinter::Fmt(engine.cost().PrefillTFlops(engine.model(), 9600), 1)});
+  // CacheGen's decode at ~25 GB/s on a ~150 TFLOP GPU-second basis.
+  const double decode_s =
+      engine.cost().DecodeSeconds(engine.model().RawKVBytes(9600));
+  b.AddRow({"CacheGen (decode)", TablePrinter::Fmt(decode_s * 150.0, 1)});
+  std::printf("%s", b.Render().c_str());
+
+  std::printf("\n(c) offline encode delay, measured (1.5K-token chunk)\n");
+  const ContextSpec chunk_ctx{777, 1500};
+  const KVCache chunk = engine.CalculateKV(chunk_ctx);
+  TablePrinter c({"Step", "Seconds"});
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const QuantBaselineResult q = QuantBaseline(8).Apply(chunk);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(q.sim_bytes);
+    c.AddRow({"Quantization (8-bit)",
+              TablePrinter::Fmt(std::chrono::duration<double>(t1 - t0).count(), 3)});
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& level : DefaultEncodingLevels()) {
+      benchmark::DoNotOptimize(
+          engine.EncoderFor(level.id).EncodeChunk(chunk).PayloadBytes());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    c.AddRow({"CacheGen (all 4 levels)",
+              TablePrinter::Fmt(std::chrono::duration<double>(t1 - t0).count(), 3)});
+  }
+  std::printf("%s", c.Render().c_str());
+
+  std::printf("\n(d) storage cost per 9.6K-token context\n");
+  const auto& calib = engine.calibration();
+  TablePrinter d({"Representation", "Size (GB)"});
+  d.AddRow({"Original fp16",
+            TablePrinter::Fmt(engine.model().RawKVBytes(9600) / 1e9, 2)});
+  d.AddRow({"Quant (8-bit)",
+            TablePrinter::Fmt(calib.quant_bytes_per_token.at(8) * 9600 / 1e9, 2)});
+  double all_levels = 0.0;
+  for (size_t lv = 0; lv < calib.bytes_per_token_per_level.size(); ++lv) {
+    const double bytes = calib.bytes_per_token_per_level[lv] * 9600;
+    all_levels += bytes;
+    d.AddRow({"CacheGen level " + std::to_string(lv),
+              TablePrinter::Fmt(bytes / 1e9, 2)});
+  }
+  d.AddRow({"CacheGen all levels", TablePrinter::Fmt(all_levels / 1e9, 2)});
+  std::printf("%s\n", d.Render().c_str());
+}
+
+// --- google-benchmark microbenchmarks -------------------------------------
+
+void BM_EncodeChunk(benchmark::State& state) {
+  Engine& engine = SharedEngine();
+  const KVCache chunk =
+      engine.CalculateKV({888, static_cast<size_t>(state.range(0))});
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const EncodedChunk e = engine.EncoderFor(1).EncodeChunk(chunk);
+    bytes = e.PayloadBytes();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk.TotalElements()) * 2);
+  state.counters["compressed_MB"] = static_cast<double>(bytes) / 1e6;
+}
+BENCHMARK(BM_EncodeChunk)->Arg(300)->Arg(1500)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeChunk(benchmark::State& state) {
+  Engine& engine = SharedEngine();
+  const KVCache chunk =
+      engine.CalculateKV({889, static_cast<size_t>(state.range(0))});
+  const EncodedChunk e = engine.EncoderFor(1).EncodeChunk(chunk);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.DecoderFor(1).DecodeChunk(e).num_tokens());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk.TotalElements()) * 2);
+}
+BENCHMARK(BM_DecodeChunk)->Arg(300)->Arg(1500)->Unit(benchmark::kMillisecond);
+
+void BM_RangeCoderEncode(benchmark::State& state) {
+  const FreqTable table = FreqTable::Uniform(129);
+  Rng rng(1);
+  std::vector<uint32_t> syms(1 << 16);
+  for (auto& s : syms) s = static_cast<uint32_t>(rng.NextBelow(129));
+  for (auto _ : state) {
+    BitWriter w;
+    RangeEncoder enc(w);
+    for (uint32_t s : syms) enc.Encode(table, s);
+    enc.Finish();
+    benchmark::DoNotOptimize(w.bytes().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(syms.size()));
+}
+BENCHMARK(BM_RangeCoderEncode);
+
+void BM_RangeCoderDecode(benchmark::State& state) {
+  const FreqTable table = FreqTable::Uniform(129);
+  Rng rng(2);
+  std::vector<uint32_t> syms(1 << 16);
+  for (auto& s : syms) s = static_cast<uint32_t>(rng.NextBelow(129));
+  BitWriter w;
+  RangeEncoder enc(w);
+  for (uint32_t s : syms) enc.Encode(table, s);
+  enc.Finish();
+  const std::vector<uint8_t> bytes = w.bytes();
+  for (auto _ : state) {
+    BitReader r(bytes);
+    RangeDecoder dec(r);
+    uint32_t last = 0;
+    for (size_t i = 0; i < syms.size(); ++i) last = dec.Decode(table);
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(syms.size()));
+}
+BENCHMARK(BM_RangeCoderDecode);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintPanels();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 3: CDFs of absolute original values vs consecutive-token deltas for
+// Llama-7B and Llama-13B on LongChat-length contexts, plus the delta/raw
+// variance ratio (paper: deltas have 2.4-2.9x lower variance; see
+// EXPERIMENTS.md for the discussion of the measured band).
+#include <cmath>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "llm/synthetic_model.h"
+
+using namespace cachegen;
+
+int main() {
+  bench::PrintHeader("Figure 3: original vs delta value distributions",
+                     "Llama-7B/13B, 3 contexts x 1200 tokens, one sampled layer pooled");
+  for (const char* name : {"llama-7b", "llama-13b"}) {
+    const ModelConfig cfg = ModelConfig::Preset(name);
+    const SyntheticModel model(cfg);
+    std::vector<double> orig, delta;
+    RunningStats orig_stats, delta_stats;
+    for (uint64_t seed : {11u, 12u, 13u}) {
+      const KVCache cache = model.Prefill({seed, 1200});
+      const Tensor& k = cache.layer(cfg.num_layers / 3).k;  // one sampled layer
+      for (size_t c = 0; c < k.cols(); ++c) {
+        for (size_t t = 0; t < k.rows(); ++t) {
+          orig.push_back(std::fabs(k.At(t, c)));
+          orig_stats.Add(k.At(t, c));
+          if (t > 0) {
+            const double d = k.At(t, c) - k.At(t - 1, c);
+            delta.push_back(std::fabs(d));
+            delta_stats.Add(d);
+          }
+        }
+      }
+    }
+    std::printf("\n-- %s --\n", name);
+    TablePrinter table({"|value|", "CDF(original)", "CDF(delta)"});
+    const std::vector<double> at = {0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0};
+    const auto cdf_orig = EmpiricalCdf(orig, at);
+    const auto cdf_delta = EmpiricalCdf(delta, at);
+    for (size_t i = 0; i < at.size(); ++i) {
+      table.AddRow({TablePrinter::Fmt(at[i], 2), TablePrinter::Fmt(cdf_orig[i], 3),
+                    TablePrinter::Fmt(cdf_delta[i], 3)});
+    }
+    std::printf("%s", table.Render().c_str());
+    std::printf("variance(original)/variance(delta) = %.2fx (paper: 2.4-2.9x)\n",
+                orig_stats.Variance() / delta_stats.Variance());
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "ac/adaptive_model.h"
+
+namespace cachegen {
+
+AdaptiveModel::AdaptiveModel(uint32_t alphabet_size, uint32_t rebuild_interval)
+    : counts_(alphabet_size, 0),
+      table_(FreqTable::Uniform(alphabet_size)),
+      rebuild_interval_(rebuild_interval == 0 ? 1 : rebuild_interval) {}
+
+void AdaptiveModel::Update(uint32_t symbol) {
+  ++counts_[symbol];
+  if (++since_rebuild_ >= rebuild_interval_) {
+    Rebuild();
+    since_rebuild_ = 0;
+  }
+}
+
+void AdaptiveModel::Rebuild() { table_ = FreqTable::FromCounts(counts_); }
+
+void AdaptiveModel::EncodeAndUpdate(RangeEncoder& enc, uint32_t symbol) {
+  enc.Encode(table_, symbol);
+  Update(symbol);
+}
+
+uint32_t AdaptiveModel::DecodeAndUpdate(RangeDecoder& dec) {
+  const uint32_t symbol = dec.Decode(table_);
+  Update(symbol);
+  return symbol;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,41 @@
+// Adaptive (context-updating) probability model — an optional codec mode
+// beyond the paper's static offline-profiled tables (§5.2). The model starts
+// uniform and re-estimates its FreqTable every `rebuild_interval` symbols
+// from the running counts. Encoder and decoder perform identical updates, so
+// no table needs to be transmitted; the trade-off is slightly worse
+// compression at stream start and extra per-symbol work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ac/freq_table.h"
+#include "ac/range_decoder.h"
+#include "ac/range_encoder.h"
+
+namespace cachegen {
+
+class AdaptiveModel {
+ public:
+  explicit AdaptiveModel(uint32_t alphabet_size, uint32_t rebuild_interval = 256);
+
+  // Current coding table.
+  const FreqTable& table() const { return table_; }
+
+  // Record an observed symbol; rebuilds the table on schedule.
+  void Update(uint32_t symbol);
+
+  // Convenience wrappers that keep the update in lock-step with coding.
+  void EncodeAndUpdate(RangeEncoder& enc, uint32_t symbol);
+  uint32_t DecodeAndUpdate(RangeDecoder& dec);
+
+ private:
+  void Rebuild();
+
+  std::vector<uint64_t> counts_;
+  FreqTable table_;
+  uint32_t rebuild_interval_;
+  uint32_t since_rebuild_ = 0;
+};
+
+}  // namespace cachegen

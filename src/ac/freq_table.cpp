@@ -1,0 +1,102 @@
+#include "ac/freq_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cachegen {
+
+FreqTable FreqTable::FromCounts(std::span<const uint64_t> counts) {
+  if (counts.empty()) throw std::invalid_argument("FreqTable: empty alphabet");
+  if (counts.size() >= kTotal) {
+    throw std::invalid_argument("FreqTable: alphabet too large for total");
+  }
+  const uint32_t n = static_cast<uint32_t>(counts.size());
+
+  // Light additive smoothing so every symbol is encodable. The epsilon is
+  // proportional to the observed mass: heavy +1 smoothing would hand ~10% of
+  // the probability mass to never-seen symbols for small profiling sets,
+  // costing a few tenths of a bit on every coded symbol.
+  uint64_t observed = 0;
+  for (uint64_t c : counts) observed += c;
+  const double alpha =
+      std::max(1e-4 * static_cast<double>(observed) / static_cast<double>(n), 1e-3);
+  std::vector<double> smoothed(n);
+  double total = 0.0;
+  for (uint32_t s = 0; s < n; ++s) {
+    smoothed[s] = static_cast<double>(counts[s]) + alpha;
+    total += smoothed[s];
+  }
+
+  FreqTable t;
+  t.freq_.assign(n, 1);
+  // Largest-remainder normalization to exactly kTotal, with a floor of 1.
+  uint32_t assigned = 0;
+  std::vector<std::pair<double, uint32_t>> remainders;
+  remainders.reserve(n);
+  const double scale = static_cast<double>(kTotal - n) / total;  // reserve 1 per symbol
+  for (uint32_t s = 0; s < n; ++s) {
+    const double exact = smoothed[s] * scale;
+    const uint32_t extra = static_cast<uint32_t>(exact);
+    t.freq_[s] += extra;
+    assigned += 1 + extra;
+    remainders.emplace_back(exact - static_cast<double>(extra), s);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (uint32_t i = 0; assigned < kTotal; ++i) {
+    t.freq_[remainders[i % n].second] += 1;
+    ++assigned;
+  }
+  t.BuildCum();
+  return t;
+}
+
+FreqTable FreqTable::Uniform(uint32_t alphabet_size) {
+  std::vector<uint64_t> counts(alphabet_size, 1);
+  return FromCounts(counts);
+}
+
+void FreqTable::BuildCum() {
+  cum_.assign(freq_.size() + 1, 0);
+  for (size_t s = 0; s < freq_.size(); ++s) cum_[s + 1] = cum_[s] + freq_[s];
+}
+
+uint32_t FreqTable::Lookup(uint32_t target) const {
+  // cum_ is strictly increasing (every freq >= 1): binary search.
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), target);
+  return static_cast<uint32_t>(it - cum_.begin()) - 1;
+}
+
+double FreqTable::BitsFor(uint32_t symbol) const {
+  const double p = static_cast<double>(freq_[symbol]) / static_cast<double>(kTotal);
+  return -std::log2(p);
+}
+
+double FreqTable::CrossEntropyBits(std::span<const int32_t> symbols) const {
+  if (symbols.empty()) return 0.0;
+  double bits = 0.0;
+  for (int32_t s : symbols) bits += BitsFor(static_cast<uint32_t>(s));
+  return bits / static_cast<double>(symbols.size());
+}
+
+void FreqTable::Serialize(ByteWriter& w) const {
+  w.PutVarU64(freq_.size());
+  for (uint32_t f : freq_) w.PutVarU64(f);
+}
+
+FreqTable FreqTable::Deserialize(ByteReader& r) {
+  FreqTable t;
+  const uint64_t n = r.GetVarU64();
+  t.freq_.resize(n);
+  uint64_t total = 0;
+  for (uint64_t s = 0; s < n; ++s) {
+    t.freq_[s] = static_cast<uint32_t>(r.GetVarU64());
+    total += t.freq_[s];
+  }
+  if (total != kTotal) throw std::runtime_error("FreqTable: corrupt table");
+  t.BuildCum();
+  return t;
+}
+
+}  // namespace cachegen

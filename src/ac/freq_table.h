@@ -1,0 +1,63 @@
+// Static frequency tables for the range coder.
+//
+// CacheGen's arithmetic coder (§5.2) is driven by probability models
+// profiled offline, one per channel-layer combination. A FreqTable holds the
+// normalized cumulative frequencies for one such model over a contiguous
+// symbol alphabet [0, alphabet_size).
+//
+// Tables are normalized so the total equals kTotal (2^16), which lets the
+// range coder divide by a constant-width total, and every symbol receives at
+// least one count (Laplace smoothing) so unseen-at-profile-time symbols are
+// still encodable, merely at a higher bit cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstream/serialize.h"
+
+namespace cachegen {
+
+class FreqTable {
+ public:
+  static constexpr uint32_t kTotalBits = 16;
+  static constexpr uint32_t kTotal = 1u << kTotalBits;
+
+  FreqTable() = default;
+
+  // Build from raw counts (one per symbol). Applies +1 smoothing and
+  // normalizes to kTotal.
+  static FreqTable FromCounts(std::span<const uint64_t> counts);
+
+  // Uniform table over `alphabet_size` symbols (the "no model" fallback).
+  static FreqTable Uniform(uint32_t alphabet_size);
+
+  uint32_t alphabet_size() const { return static_cast<uint32_t>(freq_.size()); }
+
+  uint32_t Freq(uint32_t symbol) const { return freq_[symbol]; }
+  uint32_t CumFreq(uint32_t symbol) const { return cum_[symbol]; }
+
+  // Find the symbol whose cumulative interval contains `target` (< kTotal).
+  uint32_t Lookup(uint32_t target) const;
+
+  // Expected bits to code `symbol` under this model (-log2 p). Used to
+  // estimate bitstream sizes without running the coder.
+  double BitsFor(uint32_t symbol) const;
+
+  // Cross-entropy in bits/symbol of coding `symbols` with this model.
+  double CrossEntropyBits(std::span<const int32_t> symbols) const;
+
+  void Serialize(ByteWriter& w) const;
+  static FreqTable Deserialize(ByteReader& r);
+
+  bool operator==(const FreqTable& o) const { return freq_ == o.freq_; }
+
+ private:
+  void BuildCum();
+
+  std::vector<uint32_t> freq_;  // per-symbol normalized frequency, sums to kTotal
+  std::vector<uint32_t> cum_;   // cum_[s] = sum of freq_[0..s)
+};
+
+}  // namespace cachegen

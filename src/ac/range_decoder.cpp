@@ -1,0 +1,35 @@
+#include "ac/range_decoder.h"
+
+namespace cachegen {
+
+namespace {
+constexpr uint32_t kTopValue = 1u << 24;
+}
+
+RangeDecoder::RangeDecoder(BitReader& in) : in_(in) {
+  // The encoder's first flushed byte is always the initial zero cache; the
+  // 5-byte prime consumes it plus the first 4 payload bytes.
+  for (int i = 0; i < 5; ++i) code_ = (code_ << 8) | in_.GetByte();
+}
+
+void RangeDecoder::Normalize() {
+  while (range_ < kTopValue) {
+    code_ = (code_ << 8) | in_.GetByte();
+    range_ <<= 8;
+  }
+}
+
+uint32_t RangeDecoder::Decode(const FreqTable& table) {
+  range_ >>= FreqTable::kTotalBits;
+  uint32_t target = code_ / range_;
+  if (target >= FreqTable::kTotal) target = FreqTable::kTotal - 1;
+  const uint32_t symbol = table.Lookup(target);
+  const uint32_t start = table.CumFreq(symbol);
+  const uint32_t size = table.Freq(symbol);
+  code_ -= start * range_;
+  range_ *= size;
+  Normalize();
+  return symbol;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,30 @@
+// Decoder matching RangeEncoder: consumes the byte stream and, given the
+// same sequence of FreqTables used at encode time, reproduces the symbol
+// stream exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "ac/freq_table.h"
+#include "bitstream/bit_reader.h"
+
+namespace cachegen {
+
+class RangeDecoder {
+ public:
+  // Begins decoding immediately: primes the 32-bit code window from `in`.
+  explicit RangeDecoder(BitReader& in);
+
+  // Decode the next symbol under `table`. The table sequence must match the
+  // encoder's call-for-call.
+  uint32_t Decode(const FreqTable& table);
+
+ private:
+  void Normalize();
+
+  BitReader& in_;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+};
+
+}  // namespace cachegen

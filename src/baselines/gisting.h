@@ -1,0 +1,33 @@
+// Gisting baseline [104] (Appendix B): the LLM is retrained so that a long
+// context can be condensed into a handful of "gist tokens" whose KV stands
+// in for the whole prefix. The KV cache shrinks by the gisting ratio, but
+// quality decays with how much context is squeezed into each gist token —
+// more steeply than attention-aware pruning, because the compression is
+// query-agnostic and lossy at the representation level. Modelled directly
+// on the size/accuracy trade-off of Fig. 18(right).
+#pragma once
+
+#include <cstddef>
+
+#include "llm/model_config.h"
+
+namespace cachegen {
+
+struct GistingResult {
+  size_t gist_tokens = 0;
+  double kv_bytes = 0.0;  // real-geometry bytes of the gist tokens' KV
+  double quality = 1.0;   // quality factor in [0,1]
+};
+
+class Gisting {
+ public:
+  // `compression_ratio` = context tokens per gist token (>= 1).
+  explicit Gisting(double compression_ratio);
+
+  GistingResult Apply(const ModelConfig& model, size_t context_tokens) const;
+
+ private:
+  double compression_ratio_;
+};
+
+}  // namespace cachegen

@@ -1,0 +1,75 @@
+#include "baselines/h2o.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace cachegen {
+
+KVCache GatherTokens(const KVCache& cache, const std::vector<size_t>& kept) {
+  KVCache out(cache.num_layers(), kept.size(), cache.num_channels());
+  for (size_t l = 0; l < cache.num_layers(); ++l) {
+    for (size_t i = 0; i < kept.size(); ++i) {
+      const size_t src = kept[i];
+      for (size_t c = 0; c < cache.num_channels(); ++c) {
+        out.layer(l).k.At(i, c) = cache.layer(l).k.At(src, c);
+        out.layer(l).v.At(i, c) = cache.layer(l).v.At(src, c);
+      }
+    }
+  }
+  return out;
+}
+
+H2O::H2O(double keep_ratio, double recent_fraction)
+    : keep_ratio_(keep_ratio), recent_fraction_(recent_fraction) {
+  if (keep_ratio <= 0.0 || keep_ratio > 1.0) {
+    throw std::invalid_argument("H2O: keep_ratio out of (0,1]");
+  }
+  if (recent_fraction < 0.0 || recent_fraction > 1.0) {
+    throw std::invalid_argument("H2O: recent_fraction out of [0,1]");
+  }
+}
+
+TokenDropResult H2O::Apply(const KVCache& cache,
+                           std::span<const double> importance) const {
+  const size_t T = cache.num_tokens();
+  if (importance.size() != T) {
+    throw std::invalid_argument("H2O: importance length mismatch");
+  }
+  TokenDropResult out;
+  const size_t budget = std::max<size_t>(1, static_cast<size_t>(
+                                                keep_ratio_ * static_cast<double>(T)));
+  const size_t recent = std::min(
+      budget, static_cast<size_t>(recent_fraction_ * static_cast<double>(budget)));
+
+  std::vector<bool> keep(T, false);
+  // Recency window.
+  for (size_t i = 0; i < recent; ++i) keep[T - 1 - i] = true;
+
+  // Heavy hitters fill the remaining budget.
+  std::vector<size_t> order(T);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return importance[a] > importance[b]; });
+  size_t taken = recent;
+  for (size_t idx : order) {
+    if (taken >= budget) break;
+    if (!keep[idx]) {
+      keep[idx] = true;
+      ++taken;
+    }
+  }
+
+  double kept_mass = 0.0;
+  for (size_t t = 0; t < T; ++t) {
+    if (keep[t]) {
+      out.kept.push_back(t);
+      kept_mass += importance[t];
+    }
+  }
+  out.lost_mass = std::max(0.0, 1.0 - kept_mass);
+  out.pruned = GatherTokens(cache, out.kept);
+  return out;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,31 @@
+// H2O baseline [153]: Heavy-Hitter Oracle KV-cache pruning. Keeps the
+// tokens with the highest attention scores ("heavy hitters") plus a window
+// of the most recent tokens, dropping the rest of the KV cache. As in the
+// paper's evaluation (§7.2), this is the *idealized* H2O: attention scores
+// that would normally only be available during generation are provided
+// up-front by the oracle (our SyntheticModel::TokenImportance).
+#pragma once
+
+#include <span>
+
+#include "baselines/token_drop.h"
+
+namespace cachegen {
+
+class H2O {
+ public:
+  // Keep `keep_ratio` of tokens: `recent_fraction` of the kept budget goes
+  // to the most recent tokens, the rest to the heaviest hitters.
+  explicit H2O(double keep_ratio, double recent_fraction = 0.2);
+
+  TokenDropResult Apply(const KVCache& cache,
+                        std::span<const double> importance) const;
+
+  double keep_ratio() const { return keep_ratio_; }
+
+ private:
+  double keep_ratio_;
+  double recent_fraction_;
+};
+
+}  // namespace cachegen

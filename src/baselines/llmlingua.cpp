@@ -1,0 +1,58 @@
+#include "baselines/llmlingua.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cachegen {
+
+LLMLingua::LLMLingua(double keep_ratio, double estimate_noise)
+    : keep_ratio_(keep_ratio), estimate_noise_(estimate_noise) {
+  if (keep_ratio <= 0.0 || keep_ratio > 1.0) {
+    throw std::invalid_argument("LLMLingua: keep_ratio out of (0,1]");
+  }
+}
+
+TokenDropResult LLMLingua::Apply(const KVCache& cache,
+                                 std::span<const double> importance,
+                                 uint64_t seed) const {
+  const size_t T = cache.num_tokens();
+  if (importance.size() != T) {
+    throw std::invalid_argument("LLMLingua: importance length mismatch");
+  }
+
+  // Perplexity proxy: log-importance blurred with noise. The compressor
+  // ranks by the proxy, but quality depends on the true mass it discards.
+  Rng rng(seed);
+  std::vector<double> proxy(T);
+  for (size_t t = 0; t < T; ++t) {
+    proxy[t] = 0.4 * std::log(std::max(importance[t], 1e-12)) +
+               estimate_noise_ * rng.Gaussian();
+  }
+
+  const size_t budget =
+      std::max<size_t>(1, static_cast<size_t>(keep_ratio_ * static_cast<double>(T)));
+  std::vector<size_t> order(T);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return proxy[a] > proxy[b]; });
+
+  TokenDropResult out;
+  std::vector<bool> keep(T, false);
+  for (size_t i = 0; i < budget; ++i) keep[order[i]] = true;
+  double kept_mass = 0.0;
+  for (size_t t = 0; t < T; ++t) {
+    if (keep[t]) {
+      out.kept.push_back(t);
+      kept_mass += importance[t];
+    }
+  }
+  out.lost_mass = std::max(0.0, 1.0 - kept_mass);
+  out.pruned = GatherTokens(cache, out.kept);
+  return out;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,27 @@
+#include "baselines/quant_baseline.h"
+
+namespace cachegen {
+
+QuantBaselineResult QuantBaseline::Apply(const KVCache& cache) const {
+  QuantBaselineResult out;
+  out.recon = KVCache(cache.num_layers(), cache.num_tokens(), cache.num_channels());
+  for (size_t l = 0; l < cache.num_layers(); ++l) {
+    const UniformQuantized qk = quantizer_.Quantize(cache.layer(l).k.Data());
+    const UniformQuantized qv = quantizer_.Quantize(cache.layer(l).v.Data());
+    out.sim_bytes += static_cast<double>(qk.ByteSize() + qv.ByteSize());
+    out.recon.layer(l).k =
+        Tensor(cache.num_tokens(), cache.num_channels(), quantizer_.Dequantize(qk));
+    out.recon.layer(l).v =
+        Tensor(cache.num_tokens(), cache.num_channels(), quantizer_.Dequantize(qv));
+  }
+  return out;
+}
+
+double QuantBaseline::Bytes(const ModelConfig& m, size_t tokens, int bits) {
+  const double elements = 2.0 * static_cast<double>(m.num_layers) *
+                          static_cast<double>(tokens) *
+                          static_cast<double>(m.real_channels);
+  return elements * static_cast<double>(bits) / 8.0;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,37 @@
+// "Default quantization" baseline (§7.1): uniform n-bit quantization of the
+// KV cache with the same level for every layer, kept in tensor form for
+// transmission — n bits per element plus per-tensor headers. Used at 8, 4,
+// and 3 bits in the paper's figures.
+#pragma once
+
+#include "llm/model_config.h"
+#include "quant/uniform_quant.h"
+#include "tensor/kv_cache.h"
+
+namespace cachegen {
+
+struct QuantBaselineResult {
+  KVCache recon;
+  double sim_bytes = 0.0;  // at simulated channel count
+
+  // Bytes scaled to the real model geometry.
+  double RealBytes(const ModelConfig& m) const { return sim_bytes * m.size_scale(); }
+};
+
+class QuantBaseline {
+ public:
+  explicit QuantBaseline(int bits) : quantizer_(bits) {}
+
+  // Quantize every layer's K and V tensors independently.
+  QuantBaselineResult Apply(const KVCache& cache) const;
+
+  // Analytic transmission size (real geometry) for a context of `tokens`.
+  static double Bytes(const ModelConfig& m, size_t tokens, int bits);
+
+  int bits() const { return quantizer_.bits(); }
+
+ private:
+  UniformQuantizer quantizer_;
+};
+
+}  // namespace cachegen

@@ -1,0 +1,57 @@
+#include "baselines/scissorhands.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace cachegen {
+
+Scissorhands::Scissorhands(double keep_ratio, size_t window)
+    : keep_ratio_(keep_ratio), window_(window == 0 ? 1 : window) {
+  if (keep_ratio <= 0.0 || keep_ratio > 1.0) {
+    throw std::invalid_argument("Scissorhands: keep_ratio out of (0,1]");
+  }
+}
+
+TokenDropResult Scissorhands::Apply(const KVCache& cache,
+                                    std::span<const double> importance) const {
+  const size_t T = cache.num_tokens();
+  if (importance.size() != T) {
+    throw std::invalid_argument("Scissorhands: importance length mismatch");
+  }
+
+  // Persistence score: trailing-window mean of importance — a token is kept
+  // if it was persistently heavy, not merely spiky.
+  std::vector<double> persist(T, 0.0);
+  double window_sum = 0.0;
+  for (size_t t = 0; t < T; ++t) {
+    window_sum += importance[t];
+    if (t >= window_) window_sum -= importance[t - window_];
+    const size_t n = std::min(t + 1, window_);
+    // Blend the token's own mass with its window context.
+    persist[t] = 0.6 * importance[t] + 0.4 * window_sum / static_cast<double>(n);
+  }
+
+  const size_t budget =
+      std::max<size_t>(1, static_cast<size_t>(keep_ratio_ * static_cast<double>(T)));
+  std::vector<size_t> order(T);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return persist[a] > persist[b]; });
+
+  TokenDropResult out;
+  std::vector<bool> keep(T, false);
+  for (size_t i = 0; i < budget; ++i) keep[order[i]] = true;
+  double kept_mass = 0.0;
+  for (size_t t = 0; t < T; ++t) {
+    if (keep[t]) {
+      out.kept.push_back(t);
+      kept_mass += importance[t];
+    }
+  }
+  out.lost_mass = std::max(0.0, 1.0 - kept_mass);
+  out.pruned = GatherTokens(cache, out.kept);
+  return out;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,28 @@
+// Scissorhands* baseline [96] (Appendix B): KV pruning based on the
+// *persistence of importance* hypothesis — tokens that were heavily
+// attended in a trailing window tend to stay important. As with H2O, the
+// paper builds an idealized offline variant (self-attention run ahead of
+// time); we model persistence by thresholding a windowed-smoothed version
+// of the oracle importance, which is slightly less exact than H2O's direct
+// top-k and therefore loses a bit more mass at equal budget.
+#pragma once
+
+#include <span>
+
+#include "baselines/token_drop.h"
+
+namespace cachegen {
+
+class Scissorhands {
+ public:
+  explicit Scissorhands(double keep_ratio, size_t window = 64);
+
+  TokenDropResult Apply(const KVCache& cache,
+                        std::span<const double> importance) const;
+
+ private:
+  double keep_ratio_;
+  size_t window_;
+};
+
+}  // namespace cachegen

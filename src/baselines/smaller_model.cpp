@@ -1,0 +1,20 @@
+#include "baselines/smaller_model.h"
+
+namespace cachegen {
+
+SmallerModelResult SmallerModelBaseline(const ModelConfig& original) {
+  SmallerModelResult out;
+  if (original.param_count_b > 30.0) {
+    out.model = ModelConfig::Preset("llama-13b");
+    out.quality_ceiling = 0.85;
+  } else if (original.param_count_b > 10.0) {
+    out.model = ModelConfig::Preset("llama-7b");
+    out.quality_ceiling = 0.88;
+  } else {
+    out.model = ModelConfig::Preset("llama-3b");
+    out.quality_ceiling = 0.80;
+  }
+  return out;
+}
+
+}  // namespace cachegen

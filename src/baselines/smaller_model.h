@@ -1,0 +1,21 @@
+// Smaller-model baseline (Appendix B, Fig. 18 left): replace the serving
+// LLM with a smaller one (Llama-7B -> Llama-3B). Prefill gets cheaper and
+// the KV cache smaller, but the capability ceiling drops for every request
+// regardless of compression — the trade Fig. 18 shows losing to CacheGen.
+#pragma once
+
+#include "llm/model_config.h"
+
+namespace cachegen {
+
+struct SmallerModelResult {
+  ModelConfig model;
+  double quality_ceiling = 1.0;  // relative task quality vs the large model
+};
+
+// Returns the substitute model and its relative quality ceiling. Quality
+// ceilings follow the scaling gap commonly observed between adjacent model
+// sizes on QA tasks (~0.8 for 7B -> 3B).
+SmallerModelResult SmallerModelBaseline(const ModelConfig& original);
+
+}  // namespace cachegen

@@ -1,0 +1,29 @@
+// Shared result type for the token-dropping baselines (H2O, Scissorhands,
+// LLMLingua): which tokens survive, how much attention-importance mass the
+// dropped tokens carried (the input to QualityModel::QualityFromDrop), and
+// the pruned KV cache.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/kv_cache.h"
+
+namespace cachegen {
+
+struct TokenDropResult {
+  std::vector<size_t> kept;  // surviving token indices, ascending
+  double lost_mass = 0.0;    // attention-importance mass of dropped tokens
+  KVCache pruned;            // KV restricted to the kept tokens
+
+  double KeepFraction(size_t original_tokens) const {
+    return original_tokens
+               ? static_cast<double>(kept.size()) / static_cast<double>(original_tokens)
+               : 1.0;
+  }
+};
+
+// Build the pruned cache by gathering `kept` rows from `cache`.
+KVCache GatherTokens(const KVCache& cache, const std::vector<size_t>& kept);
+
+}  // namespace cachegen

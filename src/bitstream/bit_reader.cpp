@@ -1,0 +1,41 @@
+#include "bitstream/bit_reader.h"
+
+#include <stdexcept>
+
+namespace cachegen {
+
+uint8_t BitReader::GetByte() {
+  if (bit_pos_ != 0) {
+    throw std::logic_error("BitReader::GetByte: not byte-aligned");
+  }
+  if (byte_pos_ >= bytes_.size()) return 0;
+  return bytes_[byte_pos_++];
+}
+
+uint64_t BitReader::GetBits(int nbits) {
+  if (nbits < 0 || nbits > 57) {
+    throw std::invalid_argument("BitReader::GetBits: nbits out of range");
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < nbits; ++i) {
+    uint8_t bit = 0;
+    if (byte_pos_ < bytes_.size()) {
+      bit = static_cast<uint8_t>((bytes_[byte_pos_] >> (7 - bit_pos_)) & 1u);
+    }
+    out = (out << 1) | bit;
+    if (++bit_pos_ == 8) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+  }
+  return out;
+}
+
+void BitReader::AlignToByte() {
+  if (bit_pos_ != 0) {
+    bit_pos_ = 0;
+    ++byte_pos_;
+  }
+}
+
+}  // namespace cachegen

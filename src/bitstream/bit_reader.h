@@ -1,0 +1,32 @@
+// Mirror of BitWriter: sequential byte/bit reads over an immutable buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cachegen {
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  // Next whole byte; returns 0 past the end (range-decoder convention:
+  // trailing bytes read as zero).
+  uint8_t GetByte();
+
+  // Read `nbits` (<= 57), most-significant bit first.
+  uint64_t GetBits(int nbits);
+
+  void AlignToByte();
+
+  bool AtEnd() const { return byte_pos_ >= bytes_.size() && bit_pos_ == 0; }
+  size_t BytePos() const { return byte_pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;  // bits already consumed from bytes_[byte_pos_]
+};
+
+}  // namespace cachegen

@@ -1,0 +1,36 @@
+#include "bitstream/bit_writer.h"
+
+#include <stdexcept>
+
+namespace cachegen {
+
+void BitWriter::PutBits(uint64_t value, int nbits) {
+  if (nbits < 0 || nbits > 57) {
+    throw std::invalid_argument("BitWriter::PutBits: nbits out of range");
+  }
+  for (int i = nbits - 1; i >= 0; --i) {
+    const uint8_t bit = static_cast<uint8_t>((value >> i) & 1u);
+    partial_ = static_cast<uint8_t>((partial_ << 1) | bit);
+    if (++bit_pos_ == 8) {
+      bytes_.push_back(partial_);
+      partial_ = 0;
+      bit_pos_ = 0;
+    }
+  }
+}
+
+void BitWriter::AlignToByte() {
+  if (bit_pos_ != 0) {
+    partial_ = static_cast<uint8_t>(partial_ << (8 - bit_pos_));
+    bytes_.push_back(partial_);
+    partial_ = 0;
+    bit_pos_ = 0;
+  }
+}
+
+std::vector<uint8_t> BitWriter::TakeBytes() {
+  AlignToByte();
+  return std::move(bytes_);
+}
+
+}  // namespace cachegen

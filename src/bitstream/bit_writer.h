@@ -1,0 +1,33 @@
+// Byte-oriented output buffer with bit-level packing, the sink for both the
+// range coder and the container format's fixed-width fields.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cachegen {
+
+class BitWriter {
+ public:
+  // Append a single byte (used by the range coder, which is byte-based).
+  void PutByte(uint8_t b) { bytes_.push_back(b); }
+
+  // Append `nbits` (<= 57) of `value`, most-significant bit first.
+  void PutBits(uint64_t value, int nbits);
+
+  // Pad with zero bits to the next byte boundary.
+  void AlignToByte();
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes();
+
+  size_t BitCount() const { return bytes_.size() * 8 + static_cast<size_t>(bit_pos_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint8_t partial_ = 0;
+  int bit_pos_ = 0;  // bits already used in `partial_`
+};
+
+}  // namespace cachegen

@@ -1,0 +1,60 @@
+// Little serialization layer for the on-disk / on-wire container format:
+// LEB128 varints, fixed-width integers, floats, and length-prefixed blobs
+// over a growable byte buffer. All multi-byte fixed-width values are
+// little-endian, written byte-by-byte so the format is host-independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cachegen {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutF32(float v);
+  void PutF64(double v);
+  void PutVarU64(uint64_t v);        // unsigned LEB128
+  void PutVarI64(int64_t v);         // zigzag + LEB128
+  void PutBlob(std::span<const uint8_t> data);  // varint length + bytes
+  void PutString(const std::string& s);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : buf_(bytes) {}
+
+  uint8_t GetU8();
+  uint16_t GetU16();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  float GetF32();
+  double GetF64();
+  uint64_t GetVarU64();
+  int64_t GetVarI64();
+  std::vector<uint8_t> GetBlob();
+  std::string GetString();
+
+  size_t remaining() const { return buf_.size() - pos_; }
+  bool AtEnd() const { return pos_ >= buf_.size(); }
+
+ private:
+  void Require(size_t n) const;
+
+  std::span<const uint8_t> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cachegen

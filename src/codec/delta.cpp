@@ -1,0 +1,4 @@
+#include "codec/delta.h"
+
+// Header-only helpers; translation unit kept so the target layout stays
+// uniform and future non-inline helpers have a home.

@@ -1,0 +1,36 @@
+// Change-based (anchor/delta) token grouping, §5.2 Fig. 6.
+//
+// Tokens are partitioned into contiguous groups of kTokenGroupSize; the
+// first token of each group (the anchor) is coded independently, every other
+// token is coded as its delta against the group's anchor — not against its
+// immediate predecessor — so that all tokens of a group can be encoded and
+// decoded in parallel and a single token's corruption cannot propagate past
+// the group.
+//
+// AnchorMode::kConsecutive implements the video-codec-style alternative
+// (delta against the previous token) for the ablation study.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cachegen {
+
+inline constexpr size_t kTokenGroupSize = 10;
+
+enum class AnchorMode {
+  kAnchor,       // delta vs the group's first token (CacheGen)
+  kConsecutive,  // delta vs the previous token (ablation)
+};
+
+// Index of the anchor row for row `t` under group size `g`.
+inline size_t AnchorOf(size_t t, size_t g = kTokenGroupSize) { return (t / g) * g; }
+
+inline bool IsAnchor(size_t t, size_t g = kTokenGroupSize) { return t % g == 0; }
+
+// Number of token groups covering `tokens` rows.
+inline size_t NumTokenGroups(size_t tokens, size_t g = kTokenGroupSize) {
+  return (tokens + g - 1) / g;
+}
+
+}  // namespace cachegen

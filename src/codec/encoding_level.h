@@ -1,0 +1,40 @@
+// Encoding levels: the per-chunk streaming configurations of §5.3.
+//
+// A level fixes the quantization bin size used for each of the three layer
+// groups (in units of the profiled raw-value standard deviation, pooled at
+// the codec's granularity).
+// Level 0 is the finest; higher levels trade quality for smaller bitstreams.
+// The paper's default (§C.2) uses bins {0.5, 1.0, 1.5}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/layer_groups.h"
+
+namespace cachegen {
+
+struct EncodingLevel {
+  int id = 0;
+  std::string name;
+  // Quantization bin width per layer group, in profiled-delta-sigma units.
+  std::array<double, kNumLayerGroups> bins{0.5, 1.0, 1.5};
+
+  double BinForLayer(size_t layer, size_t num_layers) const {
+    return bins[LayerGroupOf(layer, num_layers)];
+  }
+
+  // Collapse to a single (middle-group) bin for the layer-wise-quantization
+  // ablation (Fig. 15's "Quant + AC + Change" point).
+  EncodingLevel WithUniformBins() const;
+};
+
+// The ladder used by the streamer: level 0 (finest) .. level 3 (coarsest),
+// with level 1 being the paper's default {0.5, 1.0, 1.5}.
+const std::vector<EncodingLevel>& DefaultEncodingLevels();
+
+const EncodingLevel& DefaultLevel();  // the paper's default (id 1)
+
+}  // namespace cachegen

@@ -1,0 +1,87 @@
+#include "codec/kv_decoder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ac/range_decoder.h"
+#include "bitstream/bit_reader.h"
+#include "common/parallel_for.h"
+
+namespace cachegen {
+
+KVDecoder::KVDecoder(std::shared_ptr<const KVProfile> profile,
+                     std::shared_ptr<const TableSet> tables)
+    : profile_(std::move(profile)), tables_(std::move(tables)) {
+  if (!profile_ || !tables_) throw std::invalid_argument("KVDecoder: null inputs");
+}
+
+KVDecoder::KVDecoder(std::shared_ptr<const KVProfile> profile,
+                     const EncodingLevel& level, const CodecOptions& options)
+    : profile_(std::move(profile)),
+      tables_(std::make_shared<TableSet>(*profile_, level, options)) {}
+
+void KVDecoder::DecodeGroup(const EncodedChunk& chunk, size_t group,
+                            KVCache& out) const {
+  const CodecOptions& opt = tables_->options();
+  const size_t G = opt.token_group_size;
+  const size_t t0 = group * G;
+  const size_t t1 = std::min(t0 + G, static_cast<size_t>(chunk.num_tokens));
+  const size_t C = chunk.num_channels;
+
+  BitReader reader(chunk.streams[group]);
+  RangeDecoder dec(reader);
+  std::vector<double> ref(C);
+
+  for (size_t l = 0; l < chunk.num_layers; ++l) {
+    const double bin = tables_->BinFor(l);
+    for (int kind = 0; kind < 2; ++kind) {
+      Tensor& t = kind == 0 ? out.layer(l).k : out.layer(l).v;
+      if (!opt.delta_encoding) {
+        for (size_t r = t0; r < t1; ++r) {
+          for (size_t c = 0; c < C; ++c) {
+            const double mean = tables_->BodyMean(l, c, kind);
+            const double sigma = tables_->BodySigma(l, c, kind);
+            const uint32_t sym = dec.Decode(tables_->Body(l, c, kind));
+            const double sn = static_cast<double>(sym) - KVProfile::kDeltaMaxSym;
+            t.At(r, c) = static_cast<float>(mean + sn * bin * sigma);
+          }
+        }
+        continue;
+      }
+      for (size_t c = 0; c < C; ++c) {
+        const double scale = tables_->AnchorScaleEff(l, c, kind);
+        const uint32_t sym = dec.Decode(tables_->Anchor(l, c, kind));
+        ref[c] = (static_cast<double>(sym) - KVProfile::kAnchorMaxSym) * scale;
+        t.At(t0, c) = static_cast<float>(ref[c]);
+      }
+      for (size_t r = t0 + 1; r < t1; ++r) {
+        for (size_t c = 0; c < C; ++c) {
+          const double sigma = tables_->BodySigma(l, c, kind);
+          const uint32_t sym = dec.Decode(tables_->Body(l, c, kind));
+          const double sn = static_cast<double>(sym) - KVProfile::kDeltaMaxSym;
+          const double value = ref[c] + sn * bin * sigma;
+          t.At(r, c) = static_cast<float>(value);
+          if (opt.anchor_mode == AnchorMode::kConsecutive) ref[c] = value;
+        }
+      }
+    }
+  }
+}
+
+KVCache KVDecoder::DecodeChunk(const EncodedChunk& chunk, unsigned threads) const {
+  if (chunk.option_flags != tables_->options().Flags()) {
+    throw std::invalid_argument("KVDecoder: codec options mismatch");
+  }
+  if (chunk.level_id != tables_->level().id) {
+    throw std::invalid_argument("KVDecoder: encoding level mismatch");
+  }
+  KVCache out(chunk.num_layers, chunk.num_tokens, chunk.num_channels);
+  const size_t groups = chunk.streams.size();
+  if (groups != NumTokenGroups(chunk.num_tokens, tables_->options().token_group_size)) {
+    throw std::invalid_argument("KVDecoder: stream count mismatch");
+  }
+  ParallelFor(groups, [&](size_t g) { DecodeGroup(chunk, g, out); }, threads);
+  return out;
+}
+
+}  // namespace cachegen

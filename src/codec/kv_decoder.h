@@ -1,0 +1,33 @@
+// KVDecoder: inverse of KVEncoder. Given an EncodedChunk and the same
+// TableSet the encoder used, reconstructs the chunk's KV tensors. Token
+// groups decode independently (and in parallel); decoded chunks concatenate
+// along the token axis to rebuild the full context cache (§5.3).
+#pragma once
+
+#include <memory>
+
+#include "codec/kv_encoder.h"
+#include "codec/profile.h"
+#include "tensor/kv_cache.h"
+
+namespace cachegen {
+
+class KVDecoder {
+ public:
+  KVDecoder(std::shared_ptr<const KVProfile> profile,
+            std::shared_ptr<const TableSet> tables);
+
+  KVDecoder(std::shared_ptr<const KVProfile> profile, const EncodingLevel& level,
+            const CodecOptions& options = {});
+
+  // `threads` = 0 uses hardware concurrency.
+  KVCache DecodeChunk(const EncodedChunk& chunk, unsigned threads = 0) const;
+
+ private:
+  void DecodeGroup(const EncodedChunk& chunk, size_t group, KVCache& out) const;
+
+  std::shared_ptr<const KVProfile> profile_;
+  std::shared_ptr<const TableSet> tables_;
+};
+
+}  // namespace cachegen

@@ -1,0 +1,21 @@
+#include "codec/layer_groups.h"
+
+#include <stdexcept>
+
+namespace cachegen {
+
+size_t LayerGroupOf(size_t layer, size_t num_layers) {
+  if (num_layers == 0 || layer >= num_layers) {
+    throw std::out_of_range("LayerGroupOf: bad layer index");
+  }
+  const size_t g = layer * kNumLayerGroups / num_layers;
+  return g < kNumLayerGroups ? g : kNumLayerGroups - 1;
+}
+
+std::array<size_t, kNumLayerGroups> LayerGroupSizes(size_t num_layers) {
+  std::array<size_t, kNumLayerGroups> sizes{};
+  for (size_t l = 0; l < num_layers; ++l) ++sizes[LayerGroupOf(l, num_layers)];
+  return sizes;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,19 @@
+// Layer grouping for layer-wise quantization (§5.2): transformer layers are
+// split into three equal groups (earliest / middle / last third), each
+// receiving its own quantization bin size, coarser with depth.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace cachegen {
+
+inline constexpr size_t kNumLayerGroups = 3;
+
+// Group index (0 = earliest third) for `layer` of `num_layers`.
+size_t LayerGroupOf(size_t layer, size_t num_layers);
+
+// Number of layers in each group (groups differ by at most one layer).
+std::array<size_t, kNumLayerGroups> LayerGroupSizes(size_t num_layers);
+
+}  // namespace cachegen

@@ -1,0 +1,85 @@
+#include "codec/layered_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+
+namespace cachegen {
+
+namespace {
+constexpr uint32_t kResidualAlphabet = 2 * KVProfile::kDeltaMaxSym + 1;
+}
+
+LayeredEncoder::LayeredEncoder(std::shared_ptr<const KVProfile> profile,
+                               const EncodingLevel& base_level,
+                               double fine_bin_sigma, const CodecOptions& options)
+    : profile_(std::move(profile)),
+      tables_(std::make_shared<TableSet>(*profile_, base_level, options)),
+      base_encoder_(profile_, tables_),
+      base_decoder_(profile_, tables_),
+      fine_bin_sigma_(fine_bin_sigma) {}
+
+LayeredChunk LayeredEncoder::Encode(const KVCache& chunk, uint32_t chunk_index,
+                                    uint64_t token_begin) const {
+  LayeredChunk out;
+  out.fine_bin_sigma = fine_bin_sigma_;
+  out.base = base_encoder_.EncodeChunk(chunk, chunk_index, token_begin);
+
+  // Residual against what the receiver will reconstruct from the base.
+  const KVCache base_recon = base_decoder_.DecodeChunk(out.base);
+
+  BitWriter writer;
+  RangeEncoder enc(writer);
+  AdaptiveModel model(kResidualAlphabet);
+  for (size_t l = 0; l < chunk.num_layers(); ++l) {
+    for (int kind = 0; kind < 2; ++kind) {
+      const Tensor& orig = kind == 0 ? chunk.layer(l).k : chunk.layer(l).v;
+      const Tensor& base = kind == 0 ? base_recon.layer(l).k : base_recon.layer(l).v;
+      for (size_t r = 0; r < orig.rows(); ++r) {
+        for (size_t c = 0; c < orig.cols(); ++c) {
+          const double sigma = tables_->BodySigma(l, c, kind);
+          const double resid = (orig.At(r, c) - base.At(r, c)) / sigma;
+          const long s = std::lround(resid / fine_bin_sigma_);
+          const long clamped =
+              std::clamp(s, -static_cast<long>(KVProfile::kDeltaMaxSym),
+                         static_cast<long>(KVProfile::kDeltaMaxSym));
+          model.EncodeAndUpdate(
+              enc, static_cast<uint32_t>(clamped + KVProfile::kDeltaMaxSym));
+        }
+      }
+    }
+  }
+  enc.Finish();
+  out.enhancement = writer.TakeBytes();
+  return out;
+}
+
+KVCache LayeredEncoder::DecodeBase(const LayeredChunk& chunk) const {
+  return base_decoder_.DecodeChunk(chunk.base);
+}
+
+KVCache LayeredEncoder::DecodeFull(const LayeredChunk& chunk) const {
+  KVCache out = base_decoder_.DecodeChunk(chunk.base);
+  BitReader reader(chunk.enhancement);
+  RangeDecoder dec(reader);
+  AdaptiveModel model(kResidualAlphabet);
+  for (size_t l = 0; l < out.num_layers(); ++l) {
+    for (int kind = 0; kind < 2; ++kind) {
+      Tensor& t = kind == 0 ? out.layer(l).k : out.layer(l).v;
+      for (size_t r = 0; r < t.rows(); ++r) {
+        for (size_t c = 0; c < t.cols(); ++c) {
+          const double sigma = tables_->BodySigma(l, c, kind);
+          const uint32_t sym = model.DecodeAndUpdate(dec);
+          const double sn = static_cast<double>(sym) - KVProfile::kDeltaMaxSym;
+          t.At(r, c) = static_cast<float>(t.At(r, c) +
+                                          sn * chunk.fine_bin_sigma * sigma);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,334 @@
+#include "codec/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace cachegen {
+
+namespace {
+constexpr size_t kAnchorBins = 2 * KVProfile::kAnchorMaxSym + 1;  // 255
+constexpr size_t kBodyAlphabet = 2 * KVProfile::kDeltaMaxSym + 1;  // 129
+
+inline size_t HistBinOf(double normalized) {
+  const double pos = (normalized + KVProfile::kHistRange) /
+                     (2.0 * KVProfile::kHistRange) * KVProfile::kHistBins;
+  const long b = std::lround(std::floor(pos));
+  return static_cast<size_t>(
+      std::clamp(b, 0L, static_cast<long>(KVProfile::kHistBins - 1)));
+}
+
+inline double HistBinCenter(size_t bin) {
+  return -KVProfile::kHistRange +
+         (static_cast<double>(bin) + 0.5) * (2.0 * KVProfile::kHistRange) /
+             KVProfile::kHistBins;
+}
+}  // namespace
+
+uint8_t CodecOptions::Flags() const {
+  uint8_t f = 0;
+  if (delta_encoding) f |= 1;
+  if (layerwise_bins) f |= 2;
+  f |= static_cast<uint8_t>(granularity) << 2;
+  if (anchor_mode == AnchorMode::kConsecutive) f |= 16;
+  return f;
+}
+
+CodecOptions CodecOptions::FromFlags(uint8_t flags) {
+  CodecOptions o;
+  o.delta_encoding = flags & 1;
+  o.layerwise_bins = flags & 2;
+  o.granularity = static_cast<ProfileGranularity>((flags >> 2) & 3);
+  o.anchor_mode = (flags & 16) ? AnchorMode::kConsecutive : AnchorMode::kAnchor;
+  return o;
+}
+
+KVProfile KVProfile::Build(const ModelConfig& cfg,
+                           std::span<const KVCache* const> caches,
+                           size_t token_group_size) {
+  if (caches.empty()) throw std::invalid_argument("KVProfile::Build: no caches");
+  KVProfile p;
+  p.num_layers_ = cfg.num_layers;
+  p.num_channels_ = cfg.sim_channels;
+  const size_t n = p.num_layers_ * p.num_channels_ * 2;
+  p.stats_.assign(n, {});
+  p.anchor_hist_.assign(n * kAnchorBins, 0);
+  p.delta_hist_.assign(n * kHistBins, 0);
+  p.raw_hist_.assign(n * kHistBins, 0);
+
+  // Pass 1: scales.
+  std::vector<RunningStats> raw(n), delta(n);
+  std::vector<double> anchor_absmax(n, 0.0);
+  for (const KVCache* cache : caches) {
+    for (size_t l = 0; l < p.num_layers_; ++l) {
+      for (int kind = 0; kind < 2; ++kind) {
+        const Tensor& t = kind == 0 ? cache->layer(l).k : cache->layer(l).v;
+        for (size_t c = 0; c < p.num_channels_; ++c) {
+          const size_t idx = p.Idx(l, c, kind);
+          for (size_t r = 0; r < t.rows(); ++r) {
+            const double x = t.At(r, c);
+            raw[idx].Add(x);
+            if (IsAnchor(r, token_group_size)) {
+              anchor_absmax[idx] = std::max(anchor_absmax[idx], std::fabs(x));
+            } else {
+              delta[idx].Add(x - t.At(AnchorOf(r, token_group_size), c));
+            }
+          }
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ChannelStats& s = p.stats_[i];
+    s.raw_mean = raw[i].Mean();
+    s.raw_std = std::max(raw[i].StdDev(), 1e-6);
+    s.delta_std = std::max(delta[i].StdDev(), 1e-6);
+    s.anchor_scale =
+        std::max(anchor_absmax[i] * 1.02, 1e-6) / static_cast<double>(kAnchorMaxSym);
+  }
+
+  // Pass 2: normalized histograms.
+  for (const KVCache* cache : caches) {
+    for (size_t l = 0; l < p.num_layers_; ++l) {
+      for (int kind = 0; kind < 2; ++kind) {
+        const Tensor& t = kind == 0 ? cache->layer(l).k : cache->layer(l).v;
+        for (size_t c = 0; c < p.num_channels_; ++c) {
+          const size_t idx = p.Idx(l, c, kind);
+          const ChannelStats& s = p.stats_[idx];
+          for (size_t r = 0; r < t.rows(); ++r) {
+            const double x = t.At(r, c);
+            ++p.raw_hist_[idx * kHistBins + HistBinOf((x - s.raw_mean) / s.raw_std)];
+            if (IsAnchor(r, token_group_size)) {
+              const long sym = std::lround(x / s.anchor_scale);
+              const long clamped = std::clamp(sym, -static_cast<long>(kAnchorMaxSym),
+                                              static_cast<long>(kAnchorMaxSym));
+              ++p.anchor_hist_[idx * kAnchorBins +
+                               static_cast<size_t>(clamped + kAnchorMaxSym)];
+            } else {
+              // Deltas are histogrammed in RAW-sigma units: the bin widths
+              // of the encoding levels are defined on the raw value scale so
+              // that delta and no-delta modes quantize with identical error.
+              const double d = x - t.At(AnchorOf(r, token_group_size), c);
+              ++p.delta_hist_[idx * kHistBins + HistBinOf(d / s.raw_std)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return p;
+}
+
+std::span<const uint64_t> KVProfile::AnchorHist(size_t l, size_t c, int kind) const {
+  return {anchor_hist_.data() + Idx(l, c, kind) * kAnchorBins, kAnchorBins};
+}
+std::span<const uint64_t> KVProfile::DeltaHist(size_t l, size_t c, int kind) const {
+  return {delta_hist_.data() + Idx(l, c, kind) * kHistBins,
+          static_cast<size_t>(kHistBins)};
+}
+std::span<const uint64_t> KVProfile::RawHist(size_t l, size_t c, int kind) const {
+  return {raw_hist_.data() + Idx(l, c, kind) * kHistBins,
+          static_cast<size_t>(kHistBins)};
+}
+
+void KVProfile::Serialize(ByteWriter& w) const {
+  w.PutVarU64(num_layers_);
+  w.PutVarU64(num_channels_);
+  for (const auto& s : stats_) {
+    w.PutF64(s.raw_mean);
+    w.PutF64(s.raw_std);
+    w.PutF64(s.delta_std);
+    w.PutF64(s.anchor_scale);
+  }
+  for (uint64_t v : anchor_hist_) w.PutVarU64(v);
+  for (uint64_t v : delta_hist_) w.PutVarU64(v);
+  for (uint64_t v : raw_hist_) w.PutVarU64(v);
+}
+
+KVProfile KVProfile::Deserialize(ByteReader& r) {
+  KVProfile p;
+  p.num_layers_ = r.GetVarU64();
+  p.num_channels_ = r.GetVarU64();
+  const size_t n = p.num_layers_ * p.num_channels_ * 2;
+  p.stats_.resize(n);
+  for (auto& s : p.stats_) {
+    s.raw_mean = r.GetF64();
+    s.raw_std = r.GetF64();
+    s.delta_std = r.GetF64();
+    s.anchor_scale = r.GetF64();
+  }
+  p.anchor_hist_.resize(n * kAnchorBins);
+  for (auto& v : p.anchor_hist_) v = r.GetVarU64();
+  p.delta_hist_.resize(n * kHistBins);
+  for (auto& v : p.delta_hist_) v = r.GetVarU64();
+  p.raw_hist_.resize(n * kHistBins);
+  for (auto& v : p.raw_hist_) v = r.GetVarU64();
+  return p;
+}
+
+TableSet::TableSet(const KVProfile& profile, const EncodingLevel& level,
+                   const CodecOptions& options)
+    : level_(level),
+      options_(options),
+      num_layers_(profile.num_layers()),
+      num_channels_(profile.num_channels()) {
+  const EncodingLevel effective =
+      options.layerwise_bins ? level : level.WithUniformBins();
+  bins_per_layer_.resize(num_layers_);
+  for (size_t l = 0; l < num_layers_; ++l) {
+    bins_per_layer_[l] = effective.BinForLayer(l, num_layers_);
+  }
+
+  // Number of distinct tables per kind under the chosen granularity.
+  size_t groups = 1;
+  switch (options.granularity) {
+    case ProfileGranularity::kGlobal: groups = 1; break;
+    case ProfileGranularity::kPerLayer: groups = num_layers_; break;
+    case ProfileGranularity::kPerChannelLayer: groups = num_layers_ * num_channels_; break;
+  }
+
+  // Quantizer normalization is granularity-INDEPENDENT, exactly mirroring
+  // the paper's pipeline: body (delta / raw) values use one bin width per
+  // layer (the layer group's bin times the layer's pooled raw sigma, §5.2),
+  // while anchor tokens keep per-channel vectorwise 8-bit scales [48]. Every
+  // granularity therefore produces the same reconstruction and differs only
+  // in arithmetic-coding efficiency — the §7.5 comparison. Per-channel
+  // tables win because channel-to-channel scale diversity survives in the
+  // layer-normalized symbols.
+  const size_t n = num_layers_ * num_channels_ * 2;
+  body_sigma_.resize(n);
+  body_mean_.resize(n);
+  anchor_scale_.resize(n);
+  std::vector<double> layer_sigma(num_layers_ * 2, 0.0);
+  std::vector<double> layer_mean(num_layers_ * 2, 0.0);
+  for (size_t l = 0; l < num_layers_; ++l) {
+    for (int kind = 0; kind < 2; ++kind) {
+      double power = 0.0, mean = 0.0;
+      for (size_t c = 0; c < num_channels_; ++c) {
+        const double s = profile.RawStd(l, c, kind);
+        power += s * s;
+        mean += profile.RawMean(l, c, kind);
+      }
+      layer_sigma[l * 2 + static_cast<size_t>(kind)] =
+          std::sqrt(power / static_cast<double>(num_channels_));
+      layer_mean[l * 2 + static_cast<size_t>(kind)] =
+          mean / static_cast<double>(num_channels_);
+    }
+  }
+  for (size_t l = 0; l < num_layers_; ++l) {
+    for (size_t c = 0; c < num_channels_; ++c) {
+      for (int kind = 0; kind < 2; ++kind) {
+        const size_t i = (l * num_channels_ + c) * 2 + static_cast<size_t>(kind);
+        body_sigma_[i] = layer_sigma[l * 2 + static_cast<size_t>(kind)];
+        body_mean_[i] = layer_mean[l * 2 + static_cast<size_t>(kind)];
+        anchor_scale_[i] = profile.AnchorScale(l, c, kind);
+      }
+    }
+  }
+
+  // Aggregate histograms into per-group symbol counts. Channel histograms
+  // are stored in channel-sigma units; re-express them on the layer's
+  // quantization grid before counting. A coarse granularity models a
+  // *mixture* of the channels' symbol distributions — by Gibbs' inequality
+  // it can only be worse than per-channel-layer tables, never better.
+  const size_t anchor_groups =
+      options.granularity == ProfileGranularity::kGlobal ? 1 : num_layers_;
+  std::vector<std::vector<uint64_t>> anchor_counts(anchor_groups * 2,
+                                                   std::vector<uint64_t>(kAnchorBins, 0));
+  std::vector<std::vector<uint64_t>> body_counts(groups * 2,
+                                                 std::vector<uint64_t>(kBodyAlphabet, 0));
+  for (size_t l = 0; l < num_layers_; ++l) {
+    const double bin = bins_per_layer_[l];
+    for (size_t c = 0; c < num_channels_; ++c) {
+      for (int kind = 0; kind < 2; ++kind) {
+        const size_t g = TableIndex(l, c, kind);
+        const double chan_std = profile.RawStd(l, c, kind);
+        const double chan_mean = profile.RawMean(l, c, kind);
+        const double lsig = layer_sigma[l * 2 + static_cast<size_t>(kind)];
+        const double lmean = layer_mean[l * 2 + static_cast<size_t>(kind)];
+
+        const auto a = profile.AnchorHist(l, c, kind);
+        const size_t ag = AnchorTableIndex(l, c, kind);
+        for (size_t i = 0; i < a.size(); ++i) anchor_counts[ag][i] += a[i];
+
+        const auto h = options.delta_encoding ? profile.DeltaHist(l, c, kind)
+                                              : profile.RawHist(l, c, kind);
+        for (size_t i = 0; i < h.size(); ++i) {
+          if (h[i] == 0) continue;
+          const double value = options.delta_encoding
+                                   ? HistBinCenter(i) * chan_std
+                                   : chan_mean + HistBinCenter(i) * chan_std - lmean;
+          const long sym = std::lround(value / (lsig * bin));
+          const long clamped =
+              std::clamp(sym, -static_cast<long>(KVProfile::kDeltaMaxSym),
+                         static_cast<long>(KVProfile::kDeltaMaxSym));
+          body_counts[g][static_cast<size_t>(clamped + KVProfile::kDeltaMaxSym)] += h[i];
+        }
+      }
+    }
+  }
+  // Hierarchical shrinkage for per-channel-layer body tables: blend each
+  // channel's counts with its layer's pooled distribution (~6% weight).
+  // Per-channel histograms come from a small offline profiling set; without
+  // shrinkage, a fresh context whose deltas land slightly outside the
+  // profiled support pays near-worst-case code lengths.
+  if (options.granularity == ProfileGranularity::kPerChannelLayer &&
+      num_channels_ > 1) {
+    for (int kind = 0; kind < 2; ++kind) {
+      for (size_t l = 0; l < num_layers_; ++l) {
+        std::vector<uint64_t> pooled_body(kBodyAlphabet, 0);
+        for (size_t c = 0; c < num_channels_; ++c) {
+          const size_t g = TableIndex(l, c, kind);
+          for (size_t i = 0; i < kBodyAlphabet; ++i) pooled_body[i] += body_counts[g][i];
+        }
+        for (size_t c = 0; c < num_channels_; ++c) {
+          const size_t g = TableIndex(l, c, kind);
+          for (size_t i = 0; i < kBodyAlphabet; ++i) {
+            body_counts[g][i] = body_counts[g][i] * 16 + pooled_body[i] / num_channels_;
+          }
+        }
+      }
+    }
+  }
+
+  anchor_tables_.reserve(anchor_counts.size());
+  for (const auto& counts : anchor_counts) {
+    anchor_tables_.push_back(FreqTable::FromCounts(counts));
+  }
+  body_tables_.reserve(groups * 2);
+  for (size_t g = 0; g < groups * 2; ++g) {
+    body_tables_.push_back(FreqTable::FromCounts(body_counts[g]));
+  }
+}
+
+size_t TableSet::TableIndex(size_t l, size_t c, int kind) const {
+  size_t g = 0;
+  switch (options_.granularity) {
+    case ProfileGranularity::kGlobal: g = 0; break;
+    case ProfileGranularity::kPerLayer: g = l; break;
+    case ProfileGranularity::kPerChannelLayer: g = l * num_channels_ + c; break;
+  }
+  return g * 2 + static_cast<size_t>(kind);
+}
+
+size_t TableSet::AnchorTableIndex(size_t l, size_t c, int kind) const {
+  // Anchor tokens use at most per-layer tables (§5.2 profiles "another
+  // [distribution] for anchor tensors", not one per channel): anchors are
+  // only ~1/group-size of tokens, so per-channel anchor histograms are too
+  // sparse to generalize across contexts.
+  (void)c;
+  const size_t g =
+      options_.granularity == ProfileGranularity::kGlobal ? 0 : l;
+  return g * 2 + static_cast<size_t>(kind);
+}
+
+const FreqTable& TableSet::Anchor(size_t l, size_t c, int kind) const {
+  return anchor_tables_[AnchorTableIndex(l, c, kind)];
+}
+const FreqTable& TableSet::Body(size_t l, size_t c, int kind) const {
+  return body_tables_[TableIndex(l, c, kind)];
+}
+
+}  // namespace cachegen

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in the library (synthetic KV generation,
+// bandwidth traces, workload sampling) takes an explicit seed so that a given
+// experiment configuration always produces the same results, independent of
+// call order elsewhere in the program.
+#pragma once
+
+#include <cstdint>
+
+namespace cachegen {
+
+// SplitMix64: used to expand a single 64-bit seed into a stream of
+// well-mixed 64-bit values (notably to seed Xoshiro256**).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256**: fast, high-quality generator used for all sampling.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  double Gaussian();
+
+  // Gaussian with explicit mean / stddev.
+  double Gaussian(double mean, double stddev);
+
+  // Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n);
+
+  // Log-normal sample: exp(N(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace cachegen

@@ -1,0 +1,30 @@
+// Minimal fixed-width table printer used by the benchmark harness to emit
+// paper-style tables and figure series on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cachegen {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Render with column widths fitted to content, e.g.:
+  //   name      | size (MB) | accuracy
+  //   ----------+-----------+---------
+  //   CacheGen  | 176       | 0.98
+  std::string Render() const;
+
+  // Convenience numeric formatting.
+  static std::string Fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cachegen

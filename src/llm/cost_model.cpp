@@ -1,0 +1,40 @@
+#include "llm/cost_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cachegen {
+
+double CostModel::ModelScale(const ModelConfig& m) const {
+  return std::pow(m.param_count_b / 7.0, p_.model_scale_exponent);
+}
+
+double CostModel::PrefillSeconds(const ModelConfig& m, size_t tokens,
+                                 double gpu_share) const {
+  if (gpu_share <= 0.0 || gpu_share > 1.0) {
+    throw std::invalid_argument("CostModel::PrefillSeconds: gpu_share out of (0,1]");
+  }
+  const double t = static_cast<double>(tokens);
+  const double base = p_.linear_s_per_token_7b * t + p_.quad_s_per_token2_7b * t * t;
+  return base * ModelScale(m) / gpu_share;
+}
+
+double CostModel::PrefillTFlops(const ModelConfig& m, size_t tokens) const {
+  const double t = static_cast<double>(tokens);
+  // 2 * params FLOPs per token for projections/MLP plus attention's
+  // 4 * layers * hidden * T^2 term (hidden approximated from real KV dims).
+  const double proj = 2.0 * m.param_count_b * 1e9 * t;
+  const double hidden = static_cast<double>(m.real_channels) * 4.0;
+  const double attn = 4.0 * static_cast<double>(m.num_layers) * hidden * t * t;
+  return (proj + attn) / 1e12;
+}
+
+double CostModel::DequantSeconds(double bytes, double gpu_share) const {
+  return bytes / (p_.dequant_gbps * 1e9) / gpu_share;
+}
+
+double CostModel::DecodeSeconds(double decoded_bytes, double gpu_share) const {
+  return p_.decode_call_overhead_s + decoded_bytes / (p_.decode_gbps * 1e9) / gpu_share;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,46 @@
+#include "llm/model_config.h"
+
+#include <stdexcept>
+
+namespace cachegen {
+
+ModelConfig ModelConfig::Preset(const std::string& name) {
+  ModelConfig c;
+  c.name = name;
+  if (name == "mistral-7b") {
+    c.num_layers = 32;
+    c.real_channels = 1024;  // 8 kv heads x 128 (GQA)
+    c.sim_channels = 32;
+    c.param_count_b = 7.0;
+  } else if (name == "llama-3b") {
+    c.num_layers = 26;
+    c.real_channels = 3200;  // MHA, hidden size
+    c.sim_channels = 32;
+    c.param_count_b = 3.0;
+  } else if (name == "llama-7b") {
+    c.num_layers = 32;
+    c.real_channels = 4096;
+    c.sim_channels = 32;
+    c.param_count_b = 7.0;
+  } else if (name == "llama-13b") {
+    c.num_layers = 40;
+    c.real_channels = 5120;
+    c.sim_channels = 32;
+    c.param_count_b = 13.0;
+  } else if (name == "llama-34b") {
+    c.num_layers = 48;
+    c.real_channels = 1024;  // GQA
+    c.sim_channels = 32;
+    c.param_count_b = 34.0;
+  } else if (name == "llama-70b") {
+    c.num_layers = 80;
+    c.real_channels = 1024;  // GQA
+    c.sim_channels = 32;
+    c.param_count_b = 70.0;
+  } else {
+    throw std::invalid_argument("ModelConfig::Preset: unknown model " + name);
+  }
+  return c;
+}
+
+}  // namespace cachegen

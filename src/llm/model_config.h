@@ -1,0 +1,56 @@
+// Model presets for the simulated LLMs.
+//
+// The substrate cannot run real 7B-70B transformers, so each preset records:
+//  - the real model's KV geometry (layers x kv-channels) used for *size*
+//    accounting, and
+//  - a reduced simulation channel count used for *value* generation, since
+//    all of CacheGen's statistics (entropy/element, compression ratio,
+//    quality-vs-error) are per-element and channel-count free.
+// Reported byte sizes are always scaled back to real geometry via
+// size_scale().
+//
+// KV channels follow the public architectures: MHA models carry
+// hidden_size channels per layer (Llama-7B: 4096), GQA models carry
+// num_kv_heads * head_dim (Mistral-7B & Llama-70B: 1024). The paper's own
+// numbers corroborate this (622 MB for a 9.6K-token Mistral-7B cache at
+// 8 bits, 19 GB for an 80K-token Llama-34B cache at fp16).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace cachegen {
+
+struct ModelConfig {
+  std::string name;
+  size_t num_layers = 0;
+  size_t real_channels = 0;  // real per-layer KV channels (per K and per V)
+  size_t sim_channels = 0;   // channels actually simulated
+  size_t bytes_per_element = 2;  // fp16 KV cache
+  double param_count_b = 0.0;    // billions of parameters (drives prefill cost)
+  size_t max_context = 32768;
+
+  // Multiply simulated element counts by this to get real element counts.
+  double size_scale() const {
+    return sim_channels ? static_cast<double>(real_channels) /
+                              static_cast<double>(sim_channels)
+                        : 1.0;
+  }
+
+  // Real (uncompressed fp16) KV cache bytes for a context of `tokens`.
+  double RawKVBytes(size_t tokens) const {
+    return 2.0 * static_cast<double>(num_layers) * static_cast<double>(tokens) *
+           static_cast<double>(real_channels) * static_cast<double>(bytes_per_element);
+  }
+
+  // Simulated element count (K+V) for a context of `tokens`.
+  size_t SimElements(size_t tokens) const {
+    return 2 * num_layers * tokens * sim_channels;
+  }
+
+  // Factory for the models used in the paper's evaluation (§7.1) plus the
+  // Llama-3B/7B/13B models used in the insight studies and Appendix B.
+  static ModelConfig Preset(const std::string& name);
+};
+
+}  // namespace cachegen

@@ -1,0 +1,96 @@
+#include "net/bandwidth_trace.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cachegen {
+
+BandwidthTrace BandwidthTrace::Constant(double gbps) {
+  return FromSegments({{0.0, gbps}});
+}
+
+BandwidthTrace BandwidthTrace::FromSegments(std::vector<Segment> segments) {
+  if (segments.empty()) throw std::invalid_argument("BandwidthTrace: no segments");
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& a, const Segment& b) { return a.start_s < b.start_s; });
+  if (segments.front().start_s != 0.0) {
+    throw std::invalid_argument("BandwidthTrace: first segment must start at 0");
+  }
+  for (const Segment& s : segments) {
+    if (s.gbps <= 0.0) throw std::invalid_argument("BandwidthTrace: gbps <= 0");
+  }
+  BandwidthTrace t;
+  t.segments_ = std::move(segments);
+  return t;
+}
+
+BandwidthTrace BandwidthTrace::Figure7(double dip_gbps) {
+  return FromSegments({{0.0, 2.0}, {2.0, dip_gbps}, {4.0, 1.0}});
+}
+
+BandwidthTrace BandwidthTrace::Random(uint64_t seed, double min_gbps,
+                                      double max_gbps, double interval_s,
+                                      double duration_s) {
+  if (interval_s <= 0.0 || duration_s <= 0.0) {
+    throw std::invalid_argument("BandwidthTrace::Random: bad interval/duration");
+  }
+  Rng rng(seed);
+  std::vector<Segment> segs;
+  for (double t = 0.0; t < duration_s; t += interval_s) {
+    segs.push_back({t, rng.Uniform(min_gbps, max_gbps)});
+  }
+  return FromSegments(std::move(segs));
+}
+
+double BandwidthTrace::GbpsAt(double t) const {
+  // Last segment whose start <= t (segments sorted; first starts at 0).
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](double x, const Segment& s) { return x < s.start_s; });
+  return std::prev(it)->gbps;
+}
+
+double BandwidthTrace::TransferSeconds(double bytes, double start_s) const {
+  if (bytes <= 0.0) return 0.0;
+  double t = start_s;
+  double remaining = bytes;
+  for (;;) {
+    const double rate = GbpsAt(t) * 1e9 / 8.0;
+    // End of the current segment (infinity for the last one).
+    double seg_end = std::numeric_limits<double>::infinity();
+    for (const Segment& s : segments_) {
+      if (s.start_s > t) {
+        seg_end = s.start_s;
+        break;
+      }
+    }
+    const double can_send = rate * (seg_end - t);
+    if (remaining <= can_send) return t + remaining / rate - start_s;
+    remaining -= can_send;
+    t = seg_end;
+  }
+}
+
+double BandwidthTrace::BytesIn(double start_s, double end_s) const {
+  if (end_s <= start_s) return 0.0;
+  double bytes = 0.0;
+  double t = start_s;
+  while (t < end_s) {
+    const double rate = GbpsAt(t) * 1e9 / 8.0;
+    double seg_end = end_s;
+    for (const Segment& s : segments_) {
+      if (s.start_s > t) {
+        seg_end = std::min(seg_end, s.start_s);
+        break;
+      }
+    }
+    bytes += rate * (seg_end - t);
+    t = seg_end;
+  }
+  return bytes;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,47 @@
+// Time-varying bandwidth traces, the network model of the evaluation:
+// piecewise-constant throughput as a function of time. Mirrors the paper's
+// setups — fixed bandwidths for the sweeps (Fig. 8, 11, 12), a 2 -> 0.2 ->
+// 1 Gbps step trace for the adaptation walkthrough (Fig. 7), and random
+// per-chunk bandwidths in 0.1-10 Gbps for the SLO study (Fig. 13, §7.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cachegen {
+
+class BandwidthTrace {
+ public:
+  // Segment starting at `start_s` with throughput `gbps` until next segment.
+  struct Segment {
+    double start_s;
+    double gbps;
+  };
+
+  static BandwidthTrace Constant(double gbps);
+  static BandwidthTrace FromSegments(std::vector<Segment> segments);
+  // The Fig. 7 walkthrough trace: 2 Gbps, dropping to `dip_gbps` at t=2 s,
+  // recovering to 1 Gbps at t=4 s.
+  static BandwidthTrace Figure7(double dip_gbps = 0.2);
+  // Random piecewise trace: bandwidth re-sampled uniformly in
+  // [min_gbps, max_gbps] every `interval_s`, deterministic in `seed`.
+  static BandwidthTrace Random(uint64_t seed, double min_gbps, double max_gbps,
+                               double interval_s, double duration_s);
+
+  double GbpsAt(double t) const;
+  double BytesPerSecAt(double t) const { return GbpsAt(t) * 1e9 / 8.0; }
+
+  // Seconds to move `bytes` starting at `start_s`, integrating across
+  // segment boundaries.
+  double TransferSeconds(double bytes, double start_s) const;
+
+  // Bytes deliverable in [start_s, end_s).
+  double BytesIn(double start_s, double end_s) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;  // sorted by start_s; first starts at 0
+};
+
+}  // namespace cachegen

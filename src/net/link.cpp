@@ -1,0 +1,18 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace cachegen {
+
+TransferRecord Link::Send(double bytes) {
+  TransferRecord rec;
+  rec.start_s = now_s_;
+  rec.bytes = bytes;
+  rec.end_s = now_s_ + trace_.TransferSeconds(bytes, now_s_);
+  now_s_ = rec.end_s;
+  return rec;
+}
+
+void Link::AdvanceTo(double t_s) { now_s_ = std::max(now_s_, t_s); }
+
+}  // namespace cachegen

@@ -1,0 +1,48 @@
+// Link: a stateful simulated network connection between the storage server
+// holding encoded KV chunks and the inference server (Fig. 1). Transfers are
+// sequential (one connection) and advance the link clock; the streamer reads
+// back the throughput observed for the previous chunk to drive adaptation
+// (§5.3: "estimates the bandwidth by measuring the throughput of the
+// previous chunk").
+#pragma once
+
+#include "net/bandwidth_trace.h"
+
+namespace cachegen {
+
+struct TransferRecord {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double bytes = 0.0;
+
+  double Seconds() const { return end_s - start_s; }
+  // Observed goodput in Gbps.
+  double ThroughputGbps() const {
+    const double dt = Seconds();
+    return dt > 0.0 ? bytes * 8.0 / 1e9 / dt : 0.0;
+  }
+};
+
+class Link {
+ public:
+  explicit Link(BandwidthTrace trace, double start_time_s = 0.0)
+      : trace_(std::move(trace)), now_s_(start_time_s) {}
+
+  // Send `bytes` starting at the current link time; advances the clock and
+  // returns the transfer record.
+  TransferRecord Send(double bytes);
+
+  // Advance the clock without sending (e.g. while the GPU recomputes a text
+  // chunk and the link idles).
+  void AdvanceTo(double t_s);
+
+  double now() const { return now_s_; }
+  double CurrentGbps() const { return trace_.GbpsAt(now_s_); }
+  const BandwidthTrace& trace() const { return trace_; }
+
+ private:
+  BandwidthTrace trace_;
+  double now_s_;
+};
+
+}  // namespace cachegen

@@ -1,0 +1,29 @@
+// Two-stage transfer/decode pipeline model (§6: "we also pipeline the
+// transmission of context chunk i with the decoding of context chunk i-1").
+//
+// Given per-chunk transmission and decode durations, computes the finish
+// time with and without pipelining — the quantity behind Fig. 14a's
+// negligible decode bar.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cachegen {
+
+struct PipelineResult {
+  double total_s = 0.0;          // pipelined completion time
+  double sequential_s = 0.0;     // naive transfer-then-decode completion
+  double transfer_s = 0.0;       // sum of transmission times
+  double decode_s = 0.0;         // sum of decode times
+  double exposed_decode_s = 0.0; // decode time not hidden by transmission
+  std::vector<double> chunk_ready_s;  // per-chunk decoded-and-ready times
+};
+
+// `tx_s[i]` and `decode_s[i]` are the transmission and decode durations of
+// chunk i; transmission is sequential on one connection, decode of chunk i
+// starts once chunk i is fully received and the decoder is free.
+PipelineResult PipelineTimeline(std::span<const double> tx_s,
+                                std::span<const double> decode_s);
+
+}  // namespace cachegen

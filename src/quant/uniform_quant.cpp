@@ -1,0 +1,52 @@
+#include "quant/uniform_quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cachegen {
+
+UniformQuantizer::UniformQuantizer(int bits) : bits_(bits) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("UniformQuantizer: bits must be in [1,16]");
+  }
+}
+
+UniformQuantized UniformQuantizer::Quantize(std::span<const float> xs) const {
+  UniformQuantized q;
+  q.bits = bits_;
+  q.count = xs.size();
+  if (xs.empty()) return q;
+
+  const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+  const float mn = *mn_it;
+  const float mx = *mx_it;
+  const uint32_t levels = (1u << bits_) - 1;
+  q.min = mn;
+  q.scale = levels > 0 && mx > mn ? (mx - mn) / static_cast<float>(levels) : 1.0f;
+
+  q.symbols.reserve(xs.size());
+  for (float x : xs) {
+    const float f = (x - q.min) / q.scale;
+    const uint32_t s = static_cast<uint32_t>(
+        std::clamp(std::lround(f), 0L, static_cast<long>(levels)));
+    q.symbols.push_back(s);
+  }
+  return q;
+}
+
+std::vector<float> UniformQuantizer::Dequantize(const UniformQuantized& q) const {
+  std::vector<float> out;
+  out.reserve(q.symbols.size());
+  for (uint32_t s : q.symbols) {
+    out.push_back(q.min + static_cast<float>(s) * q.scale);
+  }
+  return out;
+}
+
+Tensor UniformQuantizer::RoundTrip(const Tensor& t) const {
+  const UniformQuantized q = Quantize(t.Data());
+  return Tensor(t.rows(), t.cols(), Dequantize(q));
+}
+
+}  // namespace cachegen

@@ -1,0 +1,42 @@
+// Uniform n-bit quantization — the paper's "default quantization" baseline
+// (§7.1, after [120]): every element of a tensor is quantized with the same
+// number of bits using a per-tensor affine (min/scale) mapping, with the
+// tensor kept in quantized form (n bits/element + header) for transmission.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cachegen {
+
+struct UniformQuantized {
+  int bits = 8;
+  float min = 0.0f;
+  float scale = 1.0f;  // dequant: x = min + symbol * scale
+  size_t count = 0;
+  std::vector<uint32_t> symbols;
+
+  // Transmission size in bytes: packed symbols + 8-byte header.
+  size_t ByteSize() const { return (count * static_cast<size_t>(bits) + 7) / 8 + 8; }
+};
+
+class UniformQuantizer {
+ public:
+  explicit UniformQuantizer(int bits);
+
+  UniformQuantized Quantize(std::span<const float> xs) const;
+  std::vector<float> Dequantize(const UniformQuantized& q) const;
+
+  // Round-trip a tensor (the baseline's end-to-end effect on the KV cache).
+  Tensor RoundTrip(const Tensor& t) const;
+
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+};
+
+}  // namespace cachegen

@@ -1,0 +1,56 @@
+#include "quant/vectorwise_quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cachegen {
+
+VectorwiseQuantizer::VectorwiseQuantizer(int bits) : bits_(bits) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("VectorwiseQuantizer: bits must be in [2,16]");
+  }
+}
+
+VectorwiseQuantized VectorwiseQuantizer::Quantize(const Tensor& t) const {
+  VectorwiseQuantized q;
+  q.bits = bits_;
+  q.rows = t.rows();
+  q.cols = t.cols();
+  q.scales.assign(t.cols(), 0.0f);
+
+  for (size_t r = 0; r < t.rows(); ++r) {
+    for (size_t c = 0; c < t.cols(); ++c) {
+      q.scales[c] = std::max(q.scales[c], std::fabs(t.At(r, c)));
+    }
+  }
+  const float max_sym = static_cast<float>(max_symbol());
+  for (auto& s : q.scales) s = s > 0.0f ? s / max_sym : 1.0f;
+
+  q.symbols.reserve(t.size());
+  for (size_t r = 0; r < t.rows(); ++r) {
+    for (size_t c = 0; c < t.cols(); ++c) {
+      const long v = std::lround(t.At(r, c) / q.scales[c]);
+      q.symbols.push_back(static_cast<int32_t>(std::clamp(
+          v, static_cast<long>(-max_symbol()), static_cast<long>(max_symbol()))));
+    }
+  }
+  return q;
+}
+
+Tensor VectorwiseQuantizer::Dequantize(const VectorwiseQuantized& q) const {
+  Tensor out(q.rows, q.cols);
+  size_t i = 0;
+  for (size_t r = 0; r < q.rows; ++r) {
+    for (size_t c = 0; c < q.cols; ++c, ++i) {
+      out.At(r, c) = static_cast<float>(q.symbols[i]) * q.scales[c];
+    }
+  }
+  return out;
+}
+
+Tensor VectorwiseQuantizer::RoundTrip(const Tensor& t) const {
+  return Dequantize(Quantize(t));
+}
+
+}  // namespace cachegen

@@ -1,0 +1,43 @@
+// Vectorwise (per-channel absmax) quantization, following LLM.int8 [48] as
+// the paper does for anchor tokens (§5.2): each channel (column) gets its
+// own scale = absmax / (2^(bits-1) - 1), preserving relative precision in
+// channels with very different magnitudes — exactly the situation Insight 3
+// describes for KV caches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cachegen {
+
+struct VectorwiseQuantized {
+  int bits = 8;
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<float> scales;    // one per column
+  std::vector<int32_t> symbols; // row-major, signed, |s| <= 2^(bits-1)-1
+
+  // Transmission size: packed symbols + one f32 scale per channel.
+  size_t ByteSize() const {
+    return (symbols.size() * static_cast<size_t>(bits) + 7) / 8 + scales.size() * 4;
+  }
+};
+
+class VectorwiseQuantizer {
+ public:
+  explicit VectorwiseQuantizer(int bits);
+
+  VectorwiseQuantized Quantize(const Tensor& t) const;
+  Tensor Dequantize(const VectorwiseQuantized& q) const;
+  Tensor RoundTrip(const Tensor& t) const;
+
+  int bits() const { return bits_; }
+  int32_t max_symbol() const { return (1 << (bits_ - 1)) - 1; }
+
+ private:
+  int bits_;
+};
+
+}  // namespace cachegen

@@ -1,0 +1,160 @@
+#include "serving/engine.h"
+
+#include <stdexcept>
+
+#include "baselines/quant_baseline.h"
+#include "common/rng.h"
+
+namespace cachegen {
+
+Engine::Engine(Options opts, std::shared_ptr<KVStore> store)
+    : opts_(std::move(opts)),
+      model_(ModelConfig::Preset(opts_.model_name)),
+      llm_(std::make_unique<SyntheticModel>(model_, opts_.model_seed)),
+      store_(store ? std::move(store) : std::make_shared<MemoryKVStore>()) {
+  BuildProfile();
+  const auto& levels = DefaultEncodingLevels();
+  encoders_.resize(levels.size());
+  decoders_.resize(levels.size());
+  for (size_t i = 0; i < levels.size(); ++i) {
+    auto tables = std::make_shared<TableSet>(*profile_, levels[i], opts_.codec);
+    encoders_[i] = std::make_unique<KVEncoder>(profile_, tables);
+    decoders_[i] = std::make_unique<KVDecoder>(profile_, tables);
+  }
+}
+
+void Engine::BuildProfile() {
+  // Offline profiling pass (§5.2): a handful of calibration contexts from
+  // the same model; distributions are reused for every later context.
+  std::vector<KVCache> caches;
+  caches.reserve(opts_.calib_num_contexts);
+  std::vector<const KVCache*> ptrs;
+  for (size_t i = 0; i < opts_.calib_num_contexts; ++i) {
+    ContextSpec ctx{0xCA11B000ULL + i * 97ULL, opts_.calib_context_tokens};
+    caches.push_back(llm_->Prefill(ctx));
+  }
+  for (const auto& c : caches) ptrs.push_back(&c);
+  profile_ = std::make_shared<KVProfile>(
+      KVProfile::Build(model_, ptrs, opts_.codec.token_group_size));
+}
+
+KVCache Engine::CalculateKV(const ContextSpec& ctx) const { return llm_->Prefill(ctx); }
+
+const KVEncoder& Engine::EncoderFor(int level) const {
+  return *encoders_.at(static_cast<size_t>(level));
+}
+const KVDecoder& Engine::DecoderFor(int level) const {
+  return *decoders_.at(static_cast<size_t>(level));
+}
+
+ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ctx) {
+  const KVCache cache = CalculateKV(ctx);
+  const auto ranges = SplitIntoChunks(ctx.num_tokens, opts_.chunk_tokens);
+  const auto& levels = DefaultEncodingLevels();
+
+  ContextPlan plan;
+  plan.total_tokens = ctx.num_tokens;
+  plan.quality_per_level = calibration().quality_per_level;
+  plan.chunks.reserve(ranges.size());
+
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    const KVCache chunk_kv = cache.SliceTokens(ranges[i].begin, ranges[i].end);
+    ChunkPlan cp;
+    cp.range = ranges[i];
+    cp.bytes_per_level.resize(levels.size());
+    for (size_t lv = 0; lv < levels.size(); ++lv) {
+      const EncodedChunk enc = encoders_[lv]->EncodeChunk(
+          chunk_kv, static_cast<uint32_t>(i), ranges[i].begin);
+      const std::vector<uint8_t> bytes = SerializeChunk(enc);
+      store_->Put({context_id, static_cast<uint32_t>(i), levels[lv].id}, bytes);
+      cp.bytes_per_level[lv] =
+          static_cast<double>(enc.WireBytes()) * model_.size_scale();
+    }
+    plan.chunks.push_back(std::move(cp));
+  }
+  return plan;
+}
+
+std::optional<EncodedChunk> Engine::GetKV(const std::string& context_id,
+                                          uint32_t chunk, int level) const {
+  const auto bytes = store_->Get({context_id, chunk, level});
+  if (!bytes) return std::nullopt;
+  return ParseChunk(*bytes);
+}
+
+KVCache Engine::AssembleKV(const std::string& context_id, const ContextSpec& ctx,
+                           const std::vector<int>& level_per_chunk) const {
+  const auto ranges = SplitIntoChunks(ctx.num_tokens, opts_.chunk_tokens);
+  if (ranges.size() != level_per_chunk.size()) {
+    throw std::invalid_argument("Engine::AssembleKV: decision count mismatch");
+  }
+  KVCache out;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    const int level = level_per_chunk[i];
+    if (level < 0) {
+      // Text fallback: recompute this chunk's KV exactly (§5.3).
+      out.AppendTokens(llm_->PrefillRange(ctx, ranges[i].begin, ranges[i].end));
+      continue;
+    }
+    const auto enc = GetKV(context_id, static_cast<uint32_t>(i), level);
+    if (!enc) {
+      throw std::runtime_error("Engine::AssembleKV: missing chunk in store");
+    }
+    out.AppendTokens(DecoderFor(level).DecodeChunk(*enc));
+  }
+  return out;
+}
+
+GenerateResult Engine::GenerateWithKV(const ContextSpec& ctx, double quality) const {
+  GenerateResult out;
+  out.quality = quality;
+  // Deterministic correctness draw: the same context and quality always
+  // reproduce the same outcome (useful for the Fig. 17-style demo).
+  Rng rng(ctx.seed ^ 0xD06F00DULL);
+  out.correct = rng.NextDouble() < quality;
+  const std::string topic = "topic-" + std::to_string(ctx.seed % 97);
+  out.text = out.correct
+                 ? "The first topic we discussed was " + topic + "."
+                 : "The first topic we discussed was topic-" +
+                       std::to_string((ctx.seed + 31) % 97) + ".";
+  return out;
+}
+
+const CodecCalibration& Engine::calibration() {
+  if (calibration_) return *calibration_;
+
+  CodecCalibration calib;
+  // Validation context disjoint from the profiling set.
+  ContextSpec val;
+  val.seed = 0xBEEFCAFEULL;
+  val.num_tokens = std::min<size_t>(opts_.chunk_tokens, 1500);
+  const KVCache cache = llm_->Prefill(val);
+
+  const auto& levels = DefaultEncodingLevels();
+  calib.bytes_per_token_per_level.resize(levels.size());
+  calib.quality_per_level.resize(levels.size());
+  for (size_t lv = 0; lv < levels.size(); ++lv) {
+    const EncodedChunk enc = encoders_[lv]->EncodeChunk(cache);
+    const KVCache recon = decoders_[lv]->DecodeChunk(enc);
+    calib.bytes_per_token_per_level[lv] =
+        static_cast<double>(enc.WireBytes()) * model_.size_scale() /
+        static_cast<double>(val.num_tokens);
+    calib.quality_per_level[lv] = quality_.QualityFromKV(cache, recon);
+  }
+  for (int bits : {3, 4, 8}) {
+    const QuantBaseline qb(bits);
+    const QuantBaselineResult r = qb.Apply(cache);
+    calib.quant_bytes_per_token[bits] =
+        QuantBaseline::Bytes(model_, val.num_tokens, bits) /
+        static_cast<double>(val.num_tokens);
+    calib.quant_quality[bits] = quality_.QualityFromKV(cache, r.recon);
+  }
+  calibration_ = std::move(calib);
+  return *calibration_;
+}
+
+TTFTModel Engine::MakeTTFTModel() {
+  return TTFTModel(cost_, model_, calibration(), opts_.chunk_tokens);
+}
+
+}  // namespace cachegen

@@ -1,0 +1,74 @@
+// TTFT accounting for every context-loading method the paper compares
+// (Fig. 2, Fig. 8, 11, 12, 14a, 19):
+//
+//   Text     — ship the raw text, pay full prefill compute.
+//   Quant-n  — ship the n-bit-quantized KV tensors, pay transfer + dequant.
+//   CacheGen — ship the encoded bitstreams chunk by chunk, decode pipelined
+//              with transmission, pay only the exposed decode tail.
+//
+// Sizes and quality factors come from a CodecCalibration measured once per
+// model by the Engine, so bandwidth/length/concurrency sweeps run in
+// microseconds instead of re-encoding gigabytes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "llm/cost_model.h"
+#include "llm/model_config.h"
+#include "streamer/chunking.h"
+
+namespace cachegen {
+
+struct CodecCalibration {
+  // Real-geometry compressed bytes per context token, per encoding level id.
+  std::vector<double> bytes_per_token_per_level;
+  // Distortion quality factor per encoding level id.
+  std::vector<double> quality_per_level;
+  // Uniform-quantization baseline: bits -> {bytes/token, quality factor}.
+  std::map<int, double> quant_bytes_per_token;
+  std::map<int, double> quant_quality;
+  double text_bytes_per_token = 4.0;
+};
+
+struct TTFTBreakdown {
+  double network_s = 0.0;         // transfer time
+  double compute_s = 0.0;         // prefill compute (text path)
+  double decode_exposed_s = 0.0;  // decode not hidden by the pipeline
+  double dequant_s = 0.0;         // quant-baseline dequantization
+  double prompt_s = 0.0;          // final forward pass over the query
+  double bytes = 0.0;
+  double quality = 1.0;
+
+  double Total() const {
+    return network_s + compute_s + decode_exposed_s + dequant_s + prompt_s;
+  }
+};
+
+class TTFTModel {
+ public:
+  TTFTModel(const CostModel& cost, const ModelConfig& model,
+            CodecCalibration calibration,
+            size_t chunk_tokens = kDefaultChunkTokens);
+
+  TTFTBreakdown Text(size_t tokens, double bw_gbps, double gpu_share = 1.0) const;
+  TTFTBreakdown Quant(int bits, size_t tokens, double bw_gbps,
+                      double gpu_share = 1.0) const;
+  TTFTBreakdown CacheGen(size_t tokens, double bw_gbps, double gpu_share = 1.0,
+                         int level = 1, bool pipelined = true) const;
+  // CacheGen with the automatic revert-to-text of §7.3: picks whichever of
+  // {bitstream at `level`, text} yields the lower TTFT (text is also
+  // lossless, so it dominates whenever it is faster).
+  TTFTBreakdown CacheGenAuto(size_t tokens, double bw_gbps, double gpu_share = 1.0,
+                             int level = 1) const;
+
+  const CodecCalibration& calibration() const { return calib_; }
+
+ private:
+  const CostModel& cost_;
+  ModelConfig model_;
+  CodecCalibration calib_;
+  size_t chunk_tokens_;
+};
+
+}  // namespace cachegen

@@ -1,0 +1,107 @@
+#include "storage/kv_store.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace cachegen {
+
+namespace fs = std::filesystem;
+
+void MemoryKVStore::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
+  data_[key] = std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<uint8_t>> MemoryKVStore::Get(const ChunkKey& key) const {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemoryKVStore::ContainsContext(const std::string& context_id) const {
+  const auto it = data_.lower_bound({context_id, 0, INT32_MIN});
+  return it != data_.end() && it->first.context_id == context_id;
+}
+
+void MemoryKVStore::EraseContext(const std::string& context_id) {
+  for (auto it = data_.begin(); it != data_.end();) {
+    if (it->first.context_id == context_id) {
+      it = data_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t MemoryKVStore::TotalBytes() const {
+  uint64_t n = 0;
+  for (const auto& [k, v] : data_) n += v.size();
+  return n;
+}
+
+uint64_t MemoryKVStore::ContextBytes(const std::string& context_id) const {
+  uint64_t n = 0;
+  for (const auto& [k, v] : data_) {
+    if (k.context_id == context_id) n += v.size();
+  }
+  return n;
+}
+
+FileKVStore::FileKVStore(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+fs::path FileKVStore::PathFor(const ChunkKey& key) const {
+  return root_ / key.context_id /
+         ("chunk" + std::to_string(key.chunk_index) + "_level" +
+          std::to_string(key.level_id) + ".cgkv");
+}
+
+void FileKVStore::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
+  const fs::path p = PathFor(key);
+  fs::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("FileKVStore: cannot write " + p.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::optional<std::vector<uint8_t>> FileKVStore::Get(const ChunkKey& key) const {
+  const fs::path p = PathFor(key);
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return std::nullopt;
+  return bytes;
+}
+
+bool FileKVStore::ContainsContext(const std::string& context_id) const {
+  return fs::exists(root_ / context_id);
+}
+
+void FileKVStore::EraseContext(const std::string& context_id) {
+  fs::remove_all(root_ / context_id);
+}
+
+uint64_t FileKVStore::TotalBytes() const {
+  uint64_t n = 0;
+  if (!fs::exists(root_)) return 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+    if (entry.is_regular_file()) n += entry.file_size();
+  }
+  return n;
+}
+
+uint64_t FileKVStore::ContextBytes(const std::string& context_id) const {
+  uint64_t n = 0;
+  const fs::path dir = root_ / context_id;
+  if (!fs::exists(dir)) return 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) n += entry.file_size();
+  }
+  return n;
+}
+
+}  // namespace cachegen

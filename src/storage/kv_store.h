@@ -1,0 +1,74 @@
+// KV cache storage (§6 "KV cache management"): the storage-server side of
+// CacheGen. store_kv computes, chunks, and encodes a context's KV cache at
+// every encoding level, then stores a {(chunk_id, level) -> bitstream}
+// dictionary; get_kv returns a chunk's bitstream for the level the streamer
+// selected.
+//
+// Two backends: an in-memory map (unit tests, simulations) and a
+// directory-backed store (one file per chunk/level) matching the paper's
+// dedicated-storage-server deployment.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cachegen {
+
+struct ChunkKey {
+  std::string context_id;
+  uint32_t chunk_index = 0;
+  int32_t level_id = 0;
+
+  auto operator<=>(const ChunkKey&) const = default;
+};
+
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  virtual void Put(const ChunkKey& key, std::span<const uint8_t> bytes) = 0;
+  virtual std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const = 0;
+  virtual bool ContainsContext(const std::string& context_id) const = 0;
+  virtual void EraseContext(const std::string& context_id) = 0;
+
+  // Total stored bytes (all levels) — the Fig. 14d storage-cost metric.
+  virtual uint64_t TotalBytes() const = 0;
+  virtual uint64_t ContextBytes(const std::string& context_id) const = 0;
+};
+
+class MemoryKVStore final : public KVStore {
+ public:
+  void Put(const ChunkKey& key, std::span<const uint8_t> bytes) override;
+  std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const override;
+  bool ContainsContext(const std::string& context_id) const override;
+  void EraseContext(const std::string& context_id) override;
+  uint64_t TotalBytes() const override;
+  uint64_t ContextBytes(const std::string& context_id) const override;
+
+ private:
+  std::map<ChunkKey, std::vector<uint8_t>> data_;
+};
+
+class FileKVStore final : public KVStore {
+ public:
+  explicit FileKVStore(std::filesystem::path root);
+
+  void Put(const ChunkKey& key, std::span<const uint8_t> bytes) override;
+  std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const override;
+  bool ContainsContext(const std::string& context_id) const override;
+  void EraseContext(const std::string& context_id) override;
+  uint64_t TotalBytes() const override;
+  uint64_t ContextBytes(const std::string& context_id) const override;
+
+ private:
+  std::filesystem::path PathFor(const ChunkKey& key) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace cachegen

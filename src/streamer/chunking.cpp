@@ -1,0 +1,30 @@
+#include "streamer/chunking.h"
+
+#include <stdexcept>
+
+namespace cachegen {
+
+std::vector<ChunkRange> SplitIntoChunks(size_t num_tokens, size_t chunk_tokens) {
+  if (chunk_tokens == 0) throw std::invalid_argument("SplitIntoChunks: zero chunk size");
+  std::vector<ChunkRange> out;
+  for (size_t begin = 0; begin < num_tokens; begin += chunk_tokens) {
+    out.push_back({begin, std::min(begin + chunk_tokens, num_tokens)});
+  }
+  return out;
+}
+
+double ContextPlan::BytesAtLevel(size_t first_chunk, int level) const {
+  double bytes = 0.0;
+  for (size_t i = first_chunk; i < chunks.size(); ++i) {
+    bytes += chunks[i].bytes_per_level.at(static_cast<size_t>(level));
+  }
+  return bytes;
+}
+
+size_t ContextPlan::TokensFrom(size_t first_chunk) const {
+  size_t tokens = 0;
+  for (size_t i = first_chunk; i < chunks.size(); ++i) tokens += chunks[i].range.size();
+  return tokens;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,45 @@
+// Context chunking (§5.3): a long context is split into chunks of
+// consecutive tokens (default 1.5K — long enough to batch GPU prefill work
+// and fill the congestion window, short enough to react to bandwidth shifts
+// within one chunk). Each chunk is encoded independently at every encoding
+// level, so the streamer can pick a different configuration per chunk.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cachegen {
+
+inline constexpr size_t kDefaultChunkTokens = 1500;
+
+struct ChunkRange {
+  size_t begin = 0;  // token index, inclusive
+  size_t end = 0;    // token index, exclusive
+
+  size_t size() const { return end - begin; }
+};
+
+std::vector<ChunkRange> SplitIntoChunks(size_t num_tokens,
+                                        size_t chunk_tokens = kDefaultChunkTokens);
+
+// Offline per-chunk encoding results: the sizes of this chunk's bitstream at
+// every level of the ladder, plus the quality factor each level achieves.
+struct ChunkPlan {
+  ChunkRange range;
+  std::vector<double> bytes_per_level;    // indexed by EncodingLevel::id
+};
+
+// Everything the streamer needs to know about one context, computed offline
+// by store_kv: chunk table, per-level quality factors, and the cost of the
+// text fallback.
+struct ContextPlan {
+  std::vector<ChunkPlan> chunks;
+  std::vector<double> quality_per_level;  // distortion quality factor per level
+  double text_bytes_per_token = 4.0;      // ~1 token = 4 UTF-8 bytes
+  size_t total_tokens = 0;
+
+  double BytesAtLevel(size_t first_chunk, int level) const;
+  size_t TokensFrom(size_t first_chunk) const;
+};
+
+}  // namespace cachegen

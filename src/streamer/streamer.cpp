@@ -1,0 +1,88 @@
+#include "streamer/streamer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cachegen {
+
+namespace {
+// Default medium level for the first chunk when no throughput prior exists.
+constexpr int kDefaultFirstLevel = 1;
+}
+
+KVStreamer::KVStreamer(const CostModel& cost, const ModelConfig& model,
+                       double slo_s, size_t num_levels)
+    : cost_(cost),
+      model_(model),
+      adapter_(cost_, model_, slo_s, num_levels),
+      num_levels_(num_levels) {}
+
+StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
+                                double gpu_share,
+                                std::optional<double> throughput_hint_gbps) const {
+  StreamResult result;
+  const double t0 = link.now();
+  double gpu_free_s = t0;
+  double measured_bytes_per_s =
+      throughput_hint_gbps ? *throughput_hint_gbps * 1e9 / 8.0 : 0.0;
+
+  double quality_tokens = 0.0;
+
+  for (size_t i = 0; i < plan.chunks.size(); ++i) {
+    const ChunkPlan& chunk = plan.chunks[i];
+    StreamConfig config{false, kDefaultFirstLevel};
+    if (measured_bytes_per_s > 0.0) {
+      config = adapter_
+                   .Choose(plan, i, measured_bytes_per_s, link.now() - t0, gpu_share)
+                   .config;
+    }
+
+    StreamStep step;
+    step.chunk_index = i;
+    step.config = config;
+
+    const size_t tokens = chunk.range.size();
+    double gpu_seconds = 0.0;
+    double tx_bytes = 0.0;
+    if (config.text) {
+      tx_bytes = plan.text_bytes_per_token * static_cast<double>(tokens);
+      gpu_seconds = cost_.PrefillSeconds(model_, tokens, gpu_share);
+    } else {
+      tx_bytes = chunk.bytes_per_level.at(static_cast<size_t>(config.level_id));
+      // Decode cost scales with the decoded fp16 bytes of this chunk.
+      const double decoded_bytes =
+          model_.RawKVBytes(tokens);
+      gpu_seconds = cost_.DecodeSeconds(decoded_bytes, gpu_share);
+    }
+
+    const TransferRecord rec = link.Send(tx_bytes);
+    step.tx_start_s = rec.start_s;
+    step.tx_end_s = rec.end_s;
+    step.bytes = tx_bytes;
+    step.observed_gbps = rec.ThroughputGbps();
+    // GPU stage: starts when the chunk has arrived and the GPU is free.
+    step.gpu_done_s = std::max(rec.end_s, gpu_free_s) + gpu_seconds;
+    gpu_free_s = step.gpu_done_s;
+
+    measured_bytes_per_s = rec.Seconds() > 0.0 ? tx_bytes / rec.Seconds()
+                                               : measured_bytes_per_s;
+    result.bytes_sent += tx_bytes;
+
+    const double chunk_quality =
+        config.text ? 1.0
+                    : plan.quality_per_level.at(static_cast<size_t>(config.level_id));
+    quality_tokens += chunk_quality * static_cast<double>(tokens);
+
+    result.steps.push_back(step);
+  }
+
+  result.load_finish_s = result.steps.empty() ? 0.0 : gpu_free_s - t0;
+  result.ttft_s = result.load_finish_s + cost_.PromptPassSeconds();
+  result.slo_violated = result.load_finish_s > adapter_.slo_s();
+  result.quality = plan.total_tokens
+                       ? quality_tokens / static_cast<double>(plan.total_tokens)
+                       : 1.0;
+  return result;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,59 @@
+// KVStreamer: drives the chunk-by-chunk delivery of one context's KV cache
+// over a (bandwidth-varying) link, adapting the per-chunk streaming
+// configuration with the Algorithm-1 Adapter and modelling the two-resource
+// timeline: the link transfers chunks sequentially, while the GPU decodes KV
+// chunks (or prefills text chunks) in order, overlapped with the next
+// chunk's transmission (§6 pipelining).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "llm/cost_model.h"
+#include "llm/model_config.h"
+#include "net/link.h"
+#include "streamer/adaptation.h"
+#include "streamer/chunking.h"
+
+namespace cachegen {
+
+struct StreamStep {
+  size_t chunk_index = 0;
+  StreamConfig config;
+  double tx_start_s = 0.0;
+  double tx_end_s = 0.0;
+  double gpu_done_s = 0.0;   // chunk decoded (KV) or prefilled (text)
+  double bytes = 0.0;
+  double observed_gbps = 0.0;
+};
+
+struct StreamResult {
+  std::vector<StreamStep> steps;
+  double load_finish_s = 0.0;  // last chunk usable, relative to request arrival
+  double ttft_s = 0.0;         // load_finish + final prompt pass
+  bool slo_violated = false;
+  double quality = 1.0;        // token-weighted composed quality factor
+  double bytes_sent = 0.0;
+};
+
+class KVStreamer {
+ public:
+  KVStreamer(const CostModel& cost, const ModelConfig& model, double slo_s,
+             size_t num_levels);
+
+  // Stream all chunks of `plan` over `link`. `throughput_hint_gbps` stands
+  // in for prior knowledge of the path (§5.3); without it the first chunk
+  // goes out at the default medium encoding level.
+  StreamResult Stream(const ContextPlan& plan, Link& link, double gpu_share = 1.0,
+                      std::optional<double> throughput_hint_gbps = std::nullopt) const;
+
+  const Adapter& adapter() const { return adapter_; }
+
+ private:
+  const CostModel& cost_;
+  ModelConfig model_;
+  Adapter adapter_;
+  size_t num_levels_;
+};
+
+}  // namespace cachegen

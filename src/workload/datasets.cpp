@@ -1,0 +1,72 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cachegen {
+
+namespace {
+// Table 2 of the paper.
+const DatasetInfo kInfos[] = {
+    {DatasetKind::kLongChat, "LongChat", 200, 9400, 164, 9600,
+     TaskMetric::kAccuracy, 1.0},
+    {DatasetKind::kTriviaQA, "TriviaQA", 200, 9300, 4497, 15000, TaskMetric::kF1,
+     92.0},
+    {DatasetKind::kNarrativeQA, "NarrativeQA", 200, 14000, 1916, 15000,
+     TaskMetric::kF1, 31.0},
+    {DatasetKind::kWikiText, "WikiText", 62, 5900, 4548, 14800,
+     TaskMetric::kPerplexity, 5.9},
+};
+}  // namespace
+
+const DatasetInfo& GetDatasetInfo(DatasetKind kind) {
+  for (const auto& info : kInfos) {
+    if (info.kind == kind) return info;
+  }
+  throw std::invalid_argument("GetDatasetInfo: unknown dataset");
+}
+
+const std::vector<DatasetKind>& AllDatasets() {
+  static const std::vector<DatasetKind> kAll = {
+      DatasetKind::kLongChat, DatasetKind::kTriviaQA, DatasetKind::kNarrativeQA,
+      DatasetKind::kWikiText};
+  return kAll;
+}
+
+Dataset::Dataset(DatasetKind kind, uint64_t seed)
+    : info_(GetDatasetInfo(kind)), seed_(seed) {}
+
+std::vector<ContextSpec> Dataset::Sample(size_t n) const {
+  std::vector<ContextSpec> out;
+  out.reserve(n);
+  Rng rng(seed_ ^ (static_cast<uint64_t>(info_.kind) << 32));
+  for (size_t i = 0; i < n; ++i) {
+    // Truncated normal around the median; clamp keeps the P95 in the right
+    // neighborhood for the wide-variance datasets.
+    double len = rng.Gaussian(info_.median_tokens, info_.std_tokens);
+    len = std::clamp(len, 0.15 * info_.median_tokens, info_.p95_tokens * 1.08);
+    ContextSpec ctx;
+    ctx.seed = seed_ * 1000003ULL + i * 7919ULL + 13ULL;
+    ctx.num_tokens = static_cast<size_t>(std::max(128.0, len));
+    out.push_back(ctx);
+  }
+  return out;
+}
+
+double Dataset::MetricFromQuality(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  switch (info_.metric) {
+    case TaskMetric::kAccuracy:
+      return info_.metric_ceiling * q;
+    case TaskMetric::kF1:
+      return info_.metric_ceiling * q;
+    case TaskMetric::kPerplexity:
+      return info_.metric_ceiling * std::pow(std::max(q, 0.02), -1.2);
+  }
+  throw std::logic_error("Dataset::MetricFromQuality: bad metric");
+}
+
+}  // namespace cachegen

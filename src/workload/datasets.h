@@ -1,0 +1,49 @@
+// Dataset generators matching Table 2 of the paper: four long-context
+// workloads with the published size and token-length statistics. A sampled
+// "context" is a ContextSpec (seed + length); lengths are drawn from a
+// distribution fitted to the dataset's (median, std, P95).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/quality_model.h"
+#include "llm/synthetic_model.h"
+
+namespace cachegen {
+
+enum class DatasetKind { kLongChat, kTriviaQA, kNarrativeQA, kWikiText };
+
+struct DatasetInfo {
+  DatasetKind kind;
+  std::string name;
+  size_t count;        // contexts in the dataset (Table 2 "Size")
+  double median_tokens;
+  double std_tokens;
+  double p95_tokens;
+  TaskMetric metric;
+  double metric_ceiling;  // metric value at quality factor 1.0
+};
+
+const DatasetInfo& GetDatasetInfo(DatasetKind kind);
+const std::vector<DatasetKind>& AllDatasets();
+
+class Dataset {
+ public:
+  explicit Dataset(DatasetKind kind, uint64_t seed = 42);
+
+  const DatasetInfo& info() const { return info_; }
+
+  // Sample `n` contexts (n <= info().count uses distinct context seeds).
+  std::vector<ContextSpec> Sample(size_t n) const;
+
+  // Convert a composed quality factor into this dataset's metric value.
+  double MetricFromQuality(double q) const;
+
+ private:
+  DatasetInfo info_;
+  uint64_t seed_;
+};
+
+}  // namespace cachegen

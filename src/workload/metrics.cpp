@@ -1,0 +1,45 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cachegen {
+
+std::vector<EvalPoint> AggregateByMethod(const std::vector<EvalPoint>& points) {
+  std::vector<std::string> order;
+  std::map<std::string, EvalPoint> sums;
+  std::map<std::string, size_t> counts;
+  for (const auto& p : points) {
+    if (!counts.count(p.method)) {
+      order.push_back(p.method);
+      // Zeroed accumulator (EvalPoint's defaults are not all zero).
+      sums[p.method] = EvalPoint{p.method, 0.0, 0.0, 0.0, 0.0};
+    }
+    EvalPoint& s = sums[p.method];
+    s.kv_bytes += p.kv_bytes;
+    s.ttft_s += p.ttft_s;
+    s.quality += p.quality;
+    s.metric += p.metric;
+    ++counts[p.method];
+  }
+  std::vector<EvalPoint> out;
+  out.reserve(order.size());
+  for (const auto& m : order) {
+    EvalPoint p = sums[m];
+    const double n = static_cast<double>(counts[m]);
+    p.kv_bytes /= n;
+    p.ttft_s /= n;
+    p.quality /= n;
+    p.metric /= n;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double ComposeQuality(std::initializer_list<double> factors) {
+  double q = 1.0;
+  for (double f : factors) q *= std::clamp(f, 0.0, 1.0);
+  return q;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,28 @@
+// Evaluation metrics glue: composes distortion quality (from the codec) and
+// drop quality (from token-pruning baselines) into dataset metrics, and
+// aggregates per-context results into the series the figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/datasets.h"
+
+namespace cachegen {
+
+struct EvalPoint {
+  std::string method;
+  double kv_bytes = 0.0;   // transmitted KV size (real geometry)
+  double ttft_s = 0.0;
+  double quality = 1.0;    // composed quality factor
+  double metric = 0.0;     // dataset metric value
+};
+
+// Mean over per-context points, per method (keeps method order of first
+// appearance).
+std::vector<EvalPoint> AggregateByMethod(const std::vector<EvalPoint>& points);
+
+// Compose independent quality factors (distortion x dropping x ceiling).
+double ComposeQuality(std::initializer_list<double> factors);
+
+}  // namespace cachegen

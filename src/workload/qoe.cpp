@@ -1,0 +1,16 @@
+#include "workload/qoe.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cachegen {
+
+double QoEModel::Mos(double ttft_s, double quality) const {
+  quality = std::clamp(quality, 0.0, 1.0);
+  const double latency_part =
+      p_.min_mos + (p_.base_mos - p_.min_mos) * std::exp(-p_.latency_decay * ttft_s);
+  const double quality_penalty = p_.quality_weight * (1.0 - quality);
+  return std::clamp(latency_part - quality_penalty, p_.min_mos, 5.0);
+}
+
+}  // namespace cachegen

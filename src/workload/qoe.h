@@ -1,0 +1,27 @@
+// Quality-of-Experience model for the Fig. 16 user study: maps TTFT and
+// response quality to a Mean Opinion Score (1-5). Calibrated to the study's
+// observation that sub-second first tokens rate near 4+, multi-second stalls
+// fall toward 2, and degraded answers cap the score regardless of speed.
+#pragma once
+
+namespace cachegen {
+
+struct QoEParams {
+  double base_mos = 4.4;       // instant, perfect-answer score
+  double latency_decay = 0.33; // exponential decay rate per second of TTFT
+  double min_mos = 1.0;
+  double quality_weight = 2.0; // MOS points lost when quality factor -> 0
+};
+
+class QoEModel {
+ public:
+  explicit QoEModel(QoEParams params = {}) : p_(params) {}
+
+  // `quality` is the composed quality factor in [0,1].
+  double Mos(double ttft_s, double quality = 1.0) const;
+
+ private:
+  QoEParams p_;
+};
+
+}  // namespace cachegen

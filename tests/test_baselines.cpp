@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gisting.h"
+#include "baselines/h2o.h"
+#include "baselines/llmlingua.h"
+#include "baselines/quant_baseline.h"
+#include "baselines/scissorhands.h"
+#include "baselines/smaller_model.h"
+#include "llm/quality_model.h"
+#include "llm/synthetic_model.h"
+
+namespace cachegen {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cfg_ = new ModelConfig(ModelConfig::Preset("mistral-7b"));
+    model_ = new SyntheticModel(*cfg_);
+    ctx_ = new ContextSpec{77, 800};
+    cache_ = new KVCache(model_->Prefill(*ctx_));
+    importance_ = new std::vector<double>(model_->TokenImportance(*ctx_));
+  }
+  static void TearDownTestSuite() {
+    delete importance_;
+    delete cache_;
+    delete ctx_;
+    delete model_;
+    delete cfg_;
+  }
+
+  static ModelConfig* cfg_;
+  static SyntheticModel* model_;
+  static ContextSpec* ctx_;
+  static KVCache* cache_;
+  static std::vector<double>* importance_;
+};
+
+ModelConfig* BaselineTest::cfg_ = nullptr;
+SyntheticModel* BaselineTest::model_ = nullptr;
+ContextSpec* BaselineTest::ctx_ = nullptr;
+KVCache* BaselineTest::cache_ = nullptr;
+std::vector<double>* BaselineTest::importance_ = nullptr;
+
+TEST_F(BaselineTest, QuantBaselineSizesMatchBits) {
+  const QuantBaselineResult r8 = QuantBaseline(8).Apply(*cache_);
+  const QuantBaselineResult r4 = QuantBaseline(4).Apply(*cache_);
+  EXPECT_NEAR(r8.sim_bytes / r4.sim_bytes, 2.0, 0.05);
+  // Analytic real-geometry size: 8-bit ~ half of fp16.
+  EXPECT_NEAR(QuantBaseline::Bytes(*cfg_, 9600, 8) / 1e6, 629.0, 5.0);
+}
+
+TEST_F(BaselineTest, QuantQualityOrdering) {
+  const QualityModel qm;
+  const double q8 = qm.QualityFromKV(*cache_, QuantBaseline(8).Apply(*cache_).recon);
+  const double q4 = qm.QualityFromKV(*cache_, QuantBaseline(4).Apply(*cache_).recon);
+  const double q3 = qm.QualityFromKV(*cache_, QuantBaseline(3).Apply(*cache_).recon);
+  EXPECT_GT(q8, 0.99);  // paper: 8-bit is task-lossless
+  EXPECT_GT(q8, q4);
+  EXPECT_GT(q4, q3);
+}
+
+TEST_F(BaselineTest, H2OKeepsBudgetAndHeavyHitters) {
+  const H2O h2o(0.45);
+  const TokenDropResult r = h2o.Apply(*cache_, *importance_);
+  EXPECT_NEAR(r.KeepFraction(ctx_->num_tokens), 0.45, 0.01);
+  EXPECT_EQ(r.pruned.num_tokens(), r.kept.size());
+  // Attention-aware pruning retains most of the mass: losing <15% at 45%.
+  EXPECT_LT(r.lost_mass, 0.15);
+}
+
+TEST_F(BaselineTest, H2OKeptIndicesSortedUnique) {
+  const TokenDropResult r = H2O(0.3).Apply(*cache_, *importance_);
+  for (size_t i = 1; i < r.kept.size(); ++i) EXPECT_LT(r.kept[i - 1], r.kept[i]);
+}
+
+TEST_F(BaselineTest, H2OIncludesRecentWindow) {
+  const TokenDropResult r = H2O(0.2, 0.5).Apply(*cache_, *importance_);
+  // Half the kept budget goes to the newest tokens.
+  const size_t budget = r.kept.size();
+  size_t recent = 0;
+  for (size_t idx : r.kept) recent += idx >= ctx_->num_tokens - budget / 2 ? 1 : 0;
+  EXPECT_GE(recent, budget / 2);
+}
+
+TEST_F(BaselineTest, H2OQualityMatchesPaperBallpark) {
+  // Table 1: H2O at ~45% kept scores ~0.97 accuracy.
+  const QualityModel qm;
+  const TokenDropResult r = H2O(0.45).Apply(*cache_, *importance_);
+  const double q = qm.QualityFromDrop(r.lost_mass, /*attention_aware=*/true);
+  EXPECT_GT(q, 0.93);
+  EXPECT_LT(q, 1.0);
+}
+
+TEST_F(BaselineTest, LLMLinguaLosesMoreMassThanH2OAtSameBudget) {
+  // Query-agnostic text pruning tracks true importance poorly.
+  const TokenDropResult h = H2O(0.5).Apply(*cache_, *importance_);
+  const TokenDropResult l = LLMLingua(0.5).Apply(*cache_, *importance_, 1);
+  EXPECT_GT(l.lost_mass, h.lost_mass);
+}
+
+TEST_F(BaselineTest, LLMLinguaDeterministicPerSeed) {
+  const TokenDropResult a = LLMLingua(0.6).Apply(*cache_, *importance_, 7);
+  const TokenDropResult b = LLMLingua(0.6).Apply(*cache_, *importance_, 7);
+  EXPECT_EQ(a.kept, b.kept);
+  const TokenDropResult c = LLMLingua(0.6).Apply(*cache_, *importance_, 8);
+  EXPECT_NE(a.kept, c.kept);
+}
+
+TEST_F(BaselineTest, LLMLinguaPaperOperatingPoint) {
+  // Table 1: LLMLingua at ~79% kept scores ~0.94.
+  const QualityModel qm;
+  const TokenDropResult r = LLMLingua(0.79).Apply(*cache_, *importance_, 3);
+  const double q = qm.QualityFromDrop(r.lost_mass, /*attention_aware=*/false);
+  EXPECT_GT(q, 0.90);
+  EXPECT_LT(q, 0.99);
+}
+
+TEST_F(BaselineTest, ScissorhandsKeepsBudget) {
+  const TokenDropResult r = Scissorhands(0.4).Apply(*cache_, *importance_);
+  EXPECT_NEAR(r.KeepFraction(ctx_->num_tokens), 0.4, 0.01);
+  // Persistence-based selection is decent but at most as good as the oracle
+  // top-k of H2O.
+  const TokenDropResult h = H2O(0.4, 0.0).Apply(*cache_, *importance_);
+  EXPECT_GE(r.lost_mass, h.lost_mass - 1e-9);
+}
+
+TEST_F(BaselineTest, PrunedCacheGathersRightRows) {
+  const TokenDropResult r = H2O(0.25).Apply(*cache_, *importance_);
+  for (size_t i = 0; i < r.kept.size(); i += 13) {
+    EXPECT_FLOAT_EQ(r.pruned.layer(3).k.At(i, 5),
+                    cache_->layer(3).k.At(r.kept[i], 5));
+  }
+}
+
+TEST_F(BaselineTest, DropBaselinesValidation) {
+  EXPECT_THROW(H2O(0.0), std::invalid_argument);
+  EXPECT_THROW(H2O(1.5), std::invalid_argument);
+  EXPECT_THROW(LLMLingua(0.0), std::invalid_argument);
+  EXPECT_THROW(Scissorhands(-0.1), std::invalid_argument);
+  const std::vector<double> short_importance(10, 0.1);
+  EXPECT_THROW(H2O(0.5).Apply(*cache_, short_importance), std::invalid_argument);
+}
+
+TEST(Gisting, SizeShrinksWithRatio) {
+  const ModelConfig m = ModelConfig::Preset("llama-7b");
+  const GistingResult g2 = Gisting(2.0).Apply(m, 512);
+  const GistingResult g32 = Gisting(32.0).Apply(m, 512);
+  EXPECT_GT(g2.kv_bytes, g32.kv_bytes);
+  EXPECT_EQ(g32.gist_tokens, 16u);
+}
+
+TEST(Gisting, QualityDecaysWithCompression) {
+  const ModelConfig m = ModelConfig::Preset("llama-7b");
+  double prev = 1.1;
+  for (double ratio : {1.0, 4.0, 16.0, 64.0}) {
+    const double q = Gisting(ratio).Apply(m, 512).quality;
+    EXPECT_LT(q, prev);
+    prev = q;
+  }
+  EXPECT_THROW(Gisting(0.5), std::invalid_argument);
+}
+
+TEST(SmallerModel, SubstituteIsSmallerAndWorse) {
+  const SmallerModelResult r =
+      SmallerModelBaseline(ModelConfig::Preset("llama-7b"));
+  EXPECT_LT(r.model.param_count_b, 7.0);
+  EXPECT_LT(r.quality_ceiling, 1.0);
+  const SmallerModelResult r70 =
+      SmallerModelBaseline(ModelConfig::Preset("llama-70b"));
+  EXPECT_LT(r70.model.param_count_b, 70.0);
+}
+
+}  // namespace
+}  // namespace cachegen

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "bitstream/serialize.h"
+#include "common/rng.h"
+
+namespace cachegen {
+namespace {
+
+TEST(BitWriter, BytesPassThrough) {
+  BitWriter w;
+  w.PutByte(0xAB);
+  w.PutByte(0xCD);
+  ASSERT_EQ(w.bytes().size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0xAB);
+  EXPECT_EQ(w.bytes()[1], 0xCD);
+}
+
+TEST(BitWriter, BitPackingMsbFirst) {
+  BitWriter w;
+  w.PutBits(0b101, 3);
+  w.PutBits(0b11111, 5);
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b10111111);
+}
+
+TEST(BitWriter, AlignPadsWithZeros) {
+  BitWriter w;
+  w.PutBits(0b1, 1);
+  w.AlignToByte();
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b10000000);
+}
+
+TEST(BitWriter, RejectsBadWidths) {
+  BitWriter w;
+  EXPECT_THROW(w.PutBits(0, -1), std::invalid_argument);
+  EXPECT_THROW(w.PutBits(0, 58), std::invalid_argument);
+}
+
+TEST(BitRoundTrip, RandomBitFields) {
+  Rng rng(5);
+  std::vector<std::pair<uint64_t, int>> fields;
+  BitWriter w;
+  for (int i = 0; i < 1000; ++i) {
+    const int nbits = 1 + static_cast<int>(rng.NextBelow(57));
+    const uint64_t value = rng.NextU64() & ((nbits == 57 ? (1ULL << 57) : (1ULL << nbits)) - 1);
+    fields.emplace_back(value, nbits);
+    w.PutBits(value, nbits);
+  }
+  w.AlignToByte();
+  BitReader r(w.bytes());
+  for (const auto& [value, nbits] : fields) {
+    EXPECT_EQ(r.GetBits(nbits), value);
+  }
+}
+
+TEST(BitReader, PastEndReadsZero) {
+  const std::vector<uint8_t> bytes = {0xFF};
+  BitReader r(bytes);
+  EXPECT_EQ(r.GetBits(8), 0xFFu);
+  EXPECT_EQ(r.GetBits(16), 0u);  // past the end
+  EXPECT_EQ(r.GetByte(), 0u);
+}
+
+TEST(BitReader, GetByteRequiresAlignment) {
+  const std::vector<uint8_t> bytes = {0xAA, 0xBB};
+  BitReader r(bytes);
+  r.GetBits(3);
+  EXPECT_THROW(r.GetByte(), std::logic_error);
+  r.AlignToByte();
+  EXPECT_EQ(r.GetByte(), 0xBB);
+}
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0x12);
+  w.PutU16(0x3456);
+  w.PutU32(0x789ABCDE);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutF32(3.25f);
+  w.PutF64(-1.5e300);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8(), 0x12);
+  EXPECT_EQ(r.GetU16(), 0x3456);
+  EXPECT_EQ(r.GetU32(), 0x789ABCDEu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_FLOAT_EQ(r.GetF32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.GetF64(), -1.5e300);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serialize, VarintRoundTrip) {
+  ByteWriter w;
+  const std::vector<uint64_t> values = {0,      1,        127,        128,
+                                        16383,  16384,    0xFFFFFFFF, 1ULL << 62,
+                                        ~0ULL};
+  for (uint64_t v : values) w.PutVarU64(v);
+  ByteReader r(w.bytes());
+  for (uint64_t v : values) EXPECT_EQ(r.GetVarU64(), v);
+}
+
+TEST(Serialize, VarintIsCompactForSmallValues) {
+  ByteWriter w;
+  w.PutVarU64(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.PutVarU64(300);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(Serialize, SignedVarintRoundTrip) {
+  ByteWriter w;
+  const std::vector<int64_t> values = {0,  -1, 1, -64, 63, -65,
+                                       64, INT64_MIN, INT64_MAX};
+  for (int64_t v : values) w.PutVarI64(v);
+  ByteReader r(w.bytes());
+  for (int64_t v : values) EXPECT_EQ(r.GetVarI64(), v);
+}
+
+TEST(Serialize, BlobAndString) {
+  ByteWriter w;
+  const std::vector<uint8_t> blob = {1, 2, 3, 255};
+  w.PutBlob(blob);
+  w.PutString("cachegen");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetBlob(), blob);
+  EXPECT_EQ(r.GetString(), "cachegen");
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  ByteWriter w;
+  w.PutU32(42);
+  ByteReader r(w.bytes());
+  r.GetU16();
+  EXPECT_THROW(r.GetU32(), std::out_of_range);
+}
+
+TEST(Serialize, TruncatedBlobThrows) {
+  ByteWriter w;
+  w.PutVarU64(100);  // claims 100 bytes follow, but none do
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.GetBlob(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cachegen

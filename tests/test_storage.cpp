@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/kv_store.h"
+
+namespace cachegen {
+namespace {
+
+template <typename T>
+class KVStoreTest : public ::testing::Test {
+ protected:
+  KVStoreTest() { store_ = MakeStore(); }
+
+  std::unique_ptr<KVStore> MakeStore();
+
+  std::unique_ptr<KVStore> store_;
+  std::filesystem::path tmp_;
+};
+
+template <>
+std::unique_ptr<KVStore> KVStoreTest<MemoryKVStore>::MakeStore() {
+  return std::make_unique<MemoryKVStore>();
+}
+
+template <>
+std::unique_ptr<KVStore> KVStoreTest<FileKVStore>::MakeStore() {
+  tmp_ = std::filesystem::temp_directory_path() /
+         ("cachegen_store_test_" + std::to_string(::getpid()) + "_" +
+          std::to_string(reinterpret_cast<uintptr_t>(this)));
+  return std::make_unique<FileKVStore>(tmp_);
+}
+
+using StoreTypes = ::testing::Types<MemoryKVStore, FileKVStore>;
+TYPED_TEST_SUITE(KVStoreTest, StoreTypes);
+
+TYPED_TEST(KVStoreTest, PutGetRoundTrip) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 200};
+  this->store_->Put({"ctx-a", 0, 1}, payload);
+  const auto got = this->store_->Get({"ctx-a", 0, 1});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TYPED_TEST(KVStoreTest, MissingReturnsNullopt) {
+  EXPECT_FALSE(this->store_->Get({"nope", 0, 0}).has_value());
+  this->store_->Put({"ctx", 0, 0}, std::vector<uint8_t>{1});
+  EXPECT_FALSE(this->store_->Get({"ctx", 1, 0}).has_value());
+  EXPECT_FALSE(this->store_->Get({"ctx", 0, 1}).has_value());
+}
+
+TYPED_TEST(KVStoreTest, SeparateLevelsCoexist) {
+  this->store_->Put({"ctx", 2, 0}, std::vector<uint8_t>{10, 10});
+  this->store_->Put({"ctx", 2, 3}, std::vector<uint8_t>{30});
+  EXPECT_EQ(this->store_->Get({"ctx", 2, 0})->size(), 2u);
+  EXPECT_EQ(this->store_->Get({"ctx", 2, 3})->size(), 1u);
+}
+
+TYPED_TEST(KVStoreTest, OverwriteReplaces) {
+  this->store_->Put({"ctx", 0, 0}, std::vector<uint8_t>{1, 2, 3});
+  this->store_->Put({"ctx", 0, 0}, std::vector<uint8_t>{9});
+  EXPECT_EQ(this->store_->Get({"ctx", 0, 0})->size(), 1u);
+}
+
+TYPED_TEST(KVStoreTest, ContainsAndErase) {
+  EXPECT_FALSE(this->store_->ContainsContext("ctx"));
+  this->store_->Put({"ctx", 0, 0}, std::vector<uint8_t>{1});
+  this->store_->Put({"ctx", 1, 0}, std::vector<uint8_t>{2});
+  EXPECT_TRUE(this->store_->ContainsContext("ctx"));
+  this->store_->EraseContext("ctx");
+  EXPECT_FALSE(this->store_->ContainsContext("ctx"));
+  EXPECT_FALSE(this->store_->Get({"ctx", 0, 0}).has_value());
+}
+
+TYPED_TEST(KVStoreTest, ByteAccounting) {
+  this->store_->Put({"a", 0, 0}, std::vector<uint8_t>(100, 1));
+  this->store_->Put({"a", 1, 0}, std::vector<uint8_t>(50, 2));
+  this->store_->Put({"b", 0, 0}, std::vector<uint8_t>(25, 3));
+  EXPECT_EQ(this->store_->TotalBytes(), 175u);
+  EXPECT_EQ(this->store_->ContextBytes("a"), 150u);
+  EXPECT_EQ(this->store_->ContextBytes("b"), 25u);
+  EXPECT_EQ(this->store_->ContextBytes("c"), 0u);
+}
+
+TYPED_TEST(KVStoreTest, EraseOnlyTargetContext) {
+  this->store_->Put({"a", 0, 0}, std::vector<uint8_t>{1});
+  this->store_->Put({"b", 0, 0}, std::vector<uint8_t>{2});
+  this->store_->EraseContext("a");
+  EXPECT_FALSE(this->store_->ContainsContext("a"));
+  EXPECT_TRUE(this->store_->ContainsContext("b"));
+}
+
+TEST(FileKVStore, PersistsAcrossInstances) {
+  const auto dir = std::filesystem::temp_directory_path() / "cachegen_persist_test";
+  std::filesystem::remove_all(dir);
+  {
+    FileKVStore store(dir);
+    store.Put({"ctx", 0, 1}, std::vector<uint8_t>{42, 43});
+  }
+  {
+    FileKVStore store(dir);
+    const auto got = store.Get({"ctx", 0, 1});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ((*got)[0], 42);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cachegen

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "tensor/kv_cache.h"
+#include "tensor/tensor.h"
+
+namespace cachegen {
+namespace {
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  t.At(1, 2) = 7.5f;
+  EXPECT_FLOAT_EQ(t.At(1, 2), 7.5f);
+  EXPECT_FLOAT_EQ(t.At(0, 0), 0.0f);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.At(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(t.At(1, 0), 3.0f);
+  EXPECT_THROW(Tensor(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, RowSpan) {
+  Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto row = t.Row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_FLOAT_EQ(row[0], 4.0f);
+  EXPECT_FLOAT_EQ(row[2], 6.0f);
+}
+
+TEST(Tensor, SliceRows) {
+  Tensor t(4, 2, {0, 1, 2, 3, 4, 5, 6, 7});
+  const Tensor s = t.SliceRows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_FLOAT_EQ(s.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.At(1, 1), 5.0f);
+  EXPECT_THROW(t.SliceRows(3, 2), std::out_of_range);
+  EXPECT_THROW(t.SliceRows(0, 5), std::out_of_range);
+}
+
+TEST(Tensor, SliceThenAppendRoundTrips) {
+  Tensor t(5, 3);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 3; ++c) t.At(r, c) = static_cast<float>(r * 10 + c);
+  }
+  Tensor a = t.SliceRows(0, 2);
+  a.AppendRows(t.SliceRows(2, 5));
+  ASSERT_TRUE(a.SameShape(t));
+  EXPECT_DOUBLE_EQ(a.Mse(t), 0.0);
+}
+
+TEST(Tensor, AppendRowsChecksColumns) {
+  Tensor a(2, 3), b(2, 4);
+  EXPECT_THROW(a.AppendRows(b), std::invalid_argument);
+}
+
+TEST(Tensor, AppendToEmpty) {
+  Tensor a;
+  Tensor b(2, 3, {1, 2, 3, 4, 5, 6});
+  a.AppendRows(b);
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_DOUBLE_EQ(a.Mse(b), 0.0);
+}
+
+TEST(Tensor, Mse) {
+  Tensor a(1, 2, {0, 0});
+  Tensor b(1, 2, {3, 4});
+  EXPECT_DOUBLE_EQ(a.Mse(b), (9.0 + 16.0) / 2.0);
+  Tensor c(2, 1);
+  EXPECT_THROW(a.Mse(c), std::invalid_argument);
+}
+
+TEST(Tensor, MeanAbs) {
+  Tensor a(1, 4, {-1, 2, -3, 4});
+  EXPECT_DOUBLE_EQ(a.MeanAbs(), 2.5);
+  EXPECT_DOUBLE_EQ(Tensor().MeanAbs(), 0.0);
+}
+
+TEST(KVCache, Geometry) {
+  KVCache cache(4, 10, 8);
+  EXPECT_EQ(cache.num_layers(), 4u);
+  EXPECT_EQ(cache.num_tokens(), 10u);
+  EXPECT_EQ(cache.num_channels(), 8u);
+  EXPECT_EQ(cache.TotalElements(), 2u * 4 * 10 * 8);
+}
+
+TEST(KVCache, SliceTokensPreservesLayers) {
+  KVCache cache(2, 6, 3);
+  cache.layer(1).k.At(4, 2) = 9.0f;
+  const KVCache s = cache.SliceTokens(3, 6);
+  EXPECT_EQ(s.num_tokens(), 3u);
+  EXPECT_EQ(s.num_layers(), 2u);
+  EXPECT_FLOAT_EQ(s.layer(1).k.At(1, 2), 9.0f);
+}
+
+TEST(KVCache, SliceAppendRoundTrip) {
+  KVCache cache(3, 9, 4);
+  for (size_t l = 0; l < 3; ++l) {
+    for (size_t t = 0; t < 9; ++t) {
+      for (size_t c = 0; c < 4; ++c) {
+        cache.layer(l).k.At(t, c) = static_cast<float>(l * 100 + t * 10 + c);
+        cache.layer(l).v.At(t, c) = -static_cast<float>(l * 100 + t * 10 + c);
+      }
+    }
+  }
+  KVCache rebuilt = cache.SliceTokens(0, 4);
+  rebuilt.AppendTokens(cache.SliceTokens(4, 7));
+  rebuilt.AppendTokens(cache.SliceTokens(7, 9));
+  EXPECT_EQ(rebuilt.num_tokens(), 9u);
+  EXPECT_DOUBLE_EQ(rebuilt.Mse(cache), 0.0);
+}
+
+TEST(KVCache, AppendMismatchThrows) {
+  KVCache a(2, 3, 4), b(3, 3, 4);
+  EXPECT_THROW(a.AppendTokens(b), std::invalid_argument);
+}
+
+TEST(KVCache, PerLayerMse) {
+  KVCache a(2, 2, 2), b(2, 2, 2);
+  b.layer(1).k.At(0, 0) = 2.0f;  // only layer 1 differs
+  const auto mse = a.PerLayerMse(b);
+  ASSERT_EQ(mse.size(), 2u);
+  EXPECT_DOUBLE_EQ(mse[0], 0.0);
+  EXPECT_GT(mse[1], 0.0);
+}
+
+TEST(KVCache, MseIsSymmetricAndZeroOnSelf) {
+  KVCache a(2, 4, 3);
+  a.layer(0).v.At(2, 1) = 5.0f;
+  KVCache b(2, 4, 3);
+  EXPECT_DOUBLE_EQ(a.Mse(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.Mse(b), b.Mse(a));
+}
+
+}  // namespace
+}  // namespace cachegen
