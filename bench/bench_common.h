@@ -34,20 +34,7 @@ inline std::string Mb(double bytes) { return TablePrinter::Fmt(bytes / 1e6, 1); 
 // re-encoding the context — used by the streaming/TTFT sweeps where only
 // sizes and quality factors matter.
 inline ContextPlan PlanFromCalibration(Engine& engine, size_t tokens) {
-  const CodecCalibration& calib = engine.calibration();
-  ContextPlan plan;
-  plan.total_tokens = tokens;
-  plan.quality_per_level = calib.quality_per_level;
-  for (const ChunkRange& range :
-       SplitIntoChunks(tokens, engine.options().chunk_tokens)) {
-    ChunkPlan cp;
-    cp.range = range;
-    for (double bpt : calib.bytes_per_token_per_level) {
-      cp.bytes_per_level.push_back(bpt * static_cast<double>(range.size()));
-    }
-    plan.chunks.push_back(std::move(cp));
-  }
-  return plan;
+  return engine.PlanFromCalibration(tokens);
 }
 
 }  // namespace cachegen::bench

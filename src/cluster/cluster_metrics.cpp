@@ -1,0 +1,68 @@
+#include "cluster/cluster_metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace cachegen {
+
+ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
+                         const QoEModel& qoe) {
+  ClusterSummary s;
+  if (outcomes.empty()) return s;
+
+  std::vector<double> ttfts;
+  ttfts.reserve(outcomes.size());
+  double first_arrival = outcomes.front().request.arrival_s;
+  double last_finish = 0.0;
+  double queue_sum = 0.0, qoe_sum = 0.0, quality_sum = 0.0;
+  double good_tokens = 0.0;
+  size_t violations = 0, hits = 0;
+
+  for (const RequestOutcome& o : outcomes) {
+    ttfts.push_back(o.ttft_s);
+    first_arrival = std::min(first_arrival, o.request.arrival_s);
+    last_finish = std::max(last_finish, o.finish_s);
+    queue_sum += o.queue_delay_s;
+    qoe_sum += qoe.Mos(o.ttft_s, o.quality);
+    quality_sum += o.quality;
+    if (o.slo_violated) {
+      ++violations;
+    } else {
+      good_tokens += static_cast<double>(o.request.spec.num_tokens);
+    }
+    if (o.cache_hit) ++hits;
+    s.total_gbytes_sent += o.bytes_sent / 1e9;
+  }
+
+  const double n = static_cast<double>(outcomes.size());
+  s.completed = outcomes.size();
+  s.makespan_s = std::max(last_finish - first_arrival, 1e-9);
+  s.mean_ttft_s = Mean(ttfts);
+  s.p50_ttft_s = Percentile(ttfts, 0.50);
+  s.p95_ttft_s = Percentile(ttfts, 0.95);
+  s.p99_ttft_s = Percentile(ttfts, 0.99);
+  s.mean_queue_delay_s = queue_sum / n;
+  s.slo_violation_rate = static_cast<double>(violations) / n;
+  s.goodput_tokens_per_s = good_tokens / s.makespan_s;
+  s.mean_qoe_mos = qoe_sum / n;
+  s.cache_hit_rate = static_cast<double>(hits) / n;
+  s.mean_quality = quality_sum / n;
+  return s;
+}
+
+std::string FormatSummary(const ClusterSummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu ttft p50/p95/p99 = %.2f/%.2f/%.2f s, queue %.2f s, "
+                "SLO-viol %.0f%%, goodput %.0f tok/s, QoE %.2f, hit %.0f%%",
+                s.completed, s.p50_ttft_s, s.p95_ttft_s, s.p99_ttft_s,
+                s.mean_queue_delay_s, 100.0 * s.slo_violation_rate,
+                s.goodput_tokens_per_s, s.mean_qoe_mos,
+                100.0 * s.cache_hit_rate);
+  return buf;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,54 @@
+// Aggregate serving metrics over one cluster run: the tail-latency, SLO,
+// goodput, and QoE numbers the paper's concurrency studies report (Fig. 12,
+// 13, 16) plus cache-tier health from the ShardedKVStore.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "cluster/request_queue.h"
+#include "workload/qoe.h"
+
+namespace cachegen {
+
+// One served request, all instants in cluster virtual time.
+struct RequestOutcome {
+  ClusterRequest request;
+  size_t worker = 0;
+  double admit_s = 0.0;        // when a worker started streaming it
+  double queue_delay_s = 0.0;  // admit - arrival
+  double load_finish_s = 0.0;  // KV usable, relative to ADMISSION
+  double ttft_s = 0.0;         // user-perceived: queue + load + prompt pass
+  double finish_s = 0.0;       // absolute completion instant
+  bool slo_violated = false;   // queue + load delay vs the request SLO
+  bool cache_hit = false;
+  bool forced_text = false;    // miss path: full text + re-prefill
+  double quality = 1.0;        // composed streaming quality factor
+  double bytes_sent = 0.0;
+  bool answer_correct = false;
+};
+
+struct ClusterSummary {
+  size_t completed = 0;
+  double makespan_s = 0.0;       // last finish - first arrival
+  double mean_ttft_s = 0.0;
+  double p50_ttft_s = 0.0;
+  double p95_ttft_s = 0.0;
+  double p99_ttft_s = 0.0;
+  double mean_queue_delay_s = 0.0;
+  double slo_violation_rate = 0.0;
+  double goodput_tokens_per_s = 0.0;  // context tokens of SLO-met requests / makespan
+  double mean_qoe_mos = 0.0;          // QoE model over (ttft, quality)
+  double cache_hit_rate = 0.0;        // over served requests
+  double mean_quality = 0.0;
+  double total_gbytes_sent = 0.0;
+};
+
+ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
+                         const QoEModel& qoe = QoEModel{});
+
+// One-line rendering for benches/examples.
+std::string FormatSummary(const ClusterSummary& s);
+
+}  // namespace cachegen

@@ -1,0 +1,223 @@
+#include "cluster/cluster_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "codec/encoding_level.h"
+#include "streamer/streamer.h"
+
+namespace cachegen {
+
+namespace {
+
+uint64_t PackPayload(size_t worker, size_t slot) {
+  return (static_cast<uint64_t>(worker) << 32) | static_cast<uint64_t>(slot);
+}
+
+}  // namespace
+
+ClusterServer::ClusterServer(Engine& engine, std::shared_ptr<ShardedKVStore> store,
+                             BandwidthTrace capacity, Options opts)
+    : engine_(engine),
+      store_(std::move(store)),
+      capacity_(std::move(capacity)),
+      opts_(opts) {
+  if (opts_.num_workers == 0) {
+    throw std::invalid_argument("ClusterServer: need at least one worker");
+  }
+  if (!store_ || &engine_.store() != store_.get()) {
+    throw std::invalid_argument(
+        "ClusterServer: engine must be constructed with the cluster's "
+        "ShardedKVStore");
+  }
+}
+
+void ClusterServer::Prestore(const RequestTraceOptions& trace_opts) {
+  for (size_t i = 0; i < trace_opts.num_contexts; ++i) {
+    engine_.StoreKV(PoolContextId(i), PoolContextSpec(trace_opts, i));
+  }
+}
+
+std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> trace) {
+  const size_t n = trace.size();
+  std::vector<RequestOutcome> outcomes(n);
+  if (n == 0) return outcomes;
+
+  // Build the calibration once, before worker threads need it.
+  engine_.calibration();
+
+  // Resolve the SLO default up front so scheduler policies (EDF sorts by
+  // arrival + slo) and the violation accounting agree on every request.
+  for (ClusterRequest& rq : trace) {
+    if (rq.slo_s <= 0.0) rq.slo_s = opts_.default_slo_s;
+  }
+
+  link_ = std::make_unique<SharedLink>(capacity_);
+  RequestQueue queue(std::move(trace));
+  const auto policy = MakeSchedulerPolicy(opts_.policy);
+
+  std::vector<double> free_at(opts_.num_workers, 0.0);
+  std::vector<bool> busy(opts_.num_workers, false);
+  size_t in_flight = 0;
+  size_t admitted = 0;
+  // One thread per request, joined at the end: a "freed" worker slot's
+  // thread may still be running its post-completion codec tail
+  // (assemble/generate), so threads outlive slots by design. Fine at bench
+  // scale (tens of requests); a 10k-request trace would want a fixed pool
+  // draining a tail-work queue instead.
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+
+  // Admit onto every idle worker while requests remain. After this, either
+  // the queue is drained or every worker is busy. Spawning is deferred to
+  // the end of the batch so that simultaneously admitted requests all see
+  // the same post-batch GPU contention (otherwise the first of N identical
+  // requests would be priced at full GPU while the last gets 1/N).
+  struct Admission {
+    ClusterRequest rq;
+    size_t worker = 0;
+    size_t slot = 0;
+    double admit_s = 0.0;
+    SharedLink::HoldId hold = 0;
+  };
+  const auto admit_all = [&] {
+    std::vector<Admission> batch;
+    while (!queue.Empty()) {
+      size_t w = opts_.num_workers;
+      for (size_t i = 0; i < opts_.num_workers; ++i) {
+        if (!busy[i] && (w == opts_.num_workers || free_at[i] < free_at[w])) {
+          w = i;
+        }
+      }
+      if (w == opts_.num_workers) break;  // all busy
+      const double admit_s = std::max(free_at[w], queue.NextArrival());
+      ClusterRequest rq = queue.PopReady(*policy, admit_s);
+      // Cap virtual time at the admission instant until the worker's flow
+      // registers, so no in-flight stream races past it unshared.
+      const SharedLink::HoldId hold = link_->HoldAt(admit_s);
+      busy[w] = true;
+      ++in_flight;
+      batch.push_back({std::move(rq), w, admitted++, admit_s, hold});
+    }
+    // GPU contention snapshot, frozen per request. Deterministic, but a
+    // request admitted far in the virtual future may overestimate
+    // contention: peers counted here can finish before it even starts. A
+    // time-varying share needs per-event GPU accounting — future work.
+    const double gpu_share =
+        1.0 / static_cast<double>(std::min(opts_.num_workers,
+                                           std::max<size_t>(1, in_flight)));
+    for (Admission& a : batch) {
+      threads.emplace_back(&ClusterServer::ServeOne, this, std::move(a.rq),
+                           a.worker, a.slot, a.admit_s, a.hold, gpu_share,
+                           &outcomes);
+    }
+  };
+
+  admit_all();
+  while (in_flight > 0) {
+    const SharedLink::Completion c = link_->PopCompletion(in_flight);
+    const size_t w = static_cast<size_t>(c.payload >> 32);
+    busy[w] = false;
+    free_at[w] = c.free_s;
+    --in_flight;
+    admit_all();  // admit before releasing the hold at c.free_s
+    link_->ReleaseHold(c.hold);
+  }
+
+  for (std::thread& t : threads) t.join();
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const RequestOutcome& a, const RequestOutcome& b) {
+              return a.request.id < b.request.id;
+            });
+  return outcomes;
+}
+
+void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
+                             double admit_s, SharedLink::HoldId admit_hold,
+                             double gpu_share,
+                             std::vector<RequestOutcome>* outcomes) {
+  const SharedLink::FlowId flow = link_->Register(admit_s, rq.weight);
+  // Our unparked flow now freezes virtual time; the admission hold can go.
+  link_->ReleaseHold(admit_hold);
+
+  const bool hit = store_->LookupAndPin(rq.context_id, admit_s);
+
+  const ContextPlan plan = engine_.PlanFromCalibration(rq.spec.num_tokens);
+  const double slo = rq.slo_s;  // resolved against the default in Serve()
+  const double queue_delay = admit_s - rq.arrival_s;
+  // The adapter works against whatever SLO budget queueing has left.
+  const double slo_budget = std::max(0.05, slo - queue_delay);
+  KVStreamer streamer(engine_.cost(), engine_.model(), slo_budget,
+                      DefaultEncodingLevels().size());
+
+  // First-chunk prior: assume the path splits as many ways as the GPU does.
+  // gpu_share comes from the coordinator's in-flight count at admission, so
+  // the hint is deterministic (SharedLink::ActiveFlows() would race with
+  // peers still registering in wall-clock time).
+  const double hint = opts_.throughput_hint_gbps.value_or(
+      link_->CapacityGbpsAt(admit_s) * gpu_share);
+
+  ClientLink client(*link_, flow);
+  const StreamResult sr =
+      streamer.Stream(plan, client, gpu_share, hint,
+                      hit ? StreamMode::kAdaptive : StreamMode::kForceText);
+
+  const double free_s = admit_s + sr.ttft_s;
+
+  RequestOutcome& out = (*outcomes)[slot];
+  out.request = rq;
+  out.worker = worker;
+  out.admit_s = admit_s;
+  out.queue_delay_s = queue_delay;
+  out.load_finish_s = sr.load_finish_s;
+  out.ttft_s = queue_delay + sr.ttft_s;
+  out.finish_s = free_s;
+  out.slo_violated = queue_delay + sr.load_finish_s > slo + 1e-12;
+  out.cache_hit = hit;
+  out.forced_text = !hit;
+  out.quality = sr.quality;
+  out.bytes_sent = sr.bytes_sent;
+
+  // Cache-tier mutations happen BEFORE the worker slot is handed back:
+  // CompleteFlow is what lets the coordinator admit the next request, so
+  // ordering write-back (and the hit-path unpin, which can itself evict by
+  // re-enforcing capacity) first guarantees a successor admitted because of
+  // this completion sees a settled cache tier — hit/miss outcomes stay
+  // reproducible instead of racing in wall-clock time.
+  if (!hit && opts_.write_back_on_miss) {
+    store_->Pin(rq.context_id);  // survive concurrent evictions mid-write
+    engine_.StoreKV(rq.context_id, rq.spec);
+    // Put() cannot know virtual time; stamp recency here or the fresh
+    // write-back would be the LRU victim.
+    store_->Touch(rq.context_id, free_s);
+    store_->Unpin(rq.context_id);
+  }
+  const bool keep_pin_for_assembly = hit && opts_.assemble_kv;
+  if (hit && !keep_pin_for_assembly) store_->Unpin(rq.context_id);
+  link_->CompleteFlow(flow, free_s, PackPayload(worker, slot));
+
+  // Below here only read-only (or pin-release) work remains; it runs after
+  // the slot is handed back so the real codec CPU cost parallelizes across
+  // workers instead of freezing virtual time.
+  if (keep_pin_for_assembly) {
+    std::vector<int> levels;
+    levels.reserve(sr.steps.size());
+    for (const StreamStep& step : sr.steps) {
+      levels.push_back(step.config.text ? -1 : step.config.level_id);
+    }
+    try {
+      const KVCache kv = engine_.AssembleKV(rq.context_id, rq.spec, levels);
+      (void)kv;
+    } catch (const std::exception&) {
+      // A chunk was evicted between lookup and assembly under extreme
+      // capacity pressure; the text path would recompute it (already
+      // priced into the streaming timeline as the coarsest outcome).
+    }
+    store_->Unpin(rq.context_id);
+  }
+
+  out.answer_correct = engine_.GenerateWithKV(rq.spec, sr.quality).correct;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,97 @@
+// ClusterServer: the concurrent serving layer above the single-request
+// substrate (codec -> streamer -> engine). One Engine, one ShardedKVStore
+// cache tier, one shared network path, W workers:
+//
+//   coordinator --admits--> worker threads --stream--> SharedLink (fair share)
+//        ^                       |
+//        |                       +-- Engine::AssembleKV / StoreKV / GenerateWithKV
+//        +---- completion channel (virtual-time ordered) ----+
+//
+// Admission: when a worker frees at virtual instant t, the scheduler policy
+// (FIFO / shortest-load-first / SLO-deadline-first) picks among requests
+// arrived by t. The admitted request's KV streams over the SharedLink with
+// the unmodified KVStreamer — its adapter sees the *observed shared*
+// throughput and the SLO budget left after queueing, so concurrency
+// organically pushes streams to coarser encoding levels, exactly the
+// contention behavior of the paper's Fig. 12/13.
+//
+// Cache behavior: a request whose context is resident (LookupAndPin hit)
+// streams encoded KV; a miss ships the raw text and pays full re-prefill
+// (StreamMode::kForceText), then optionally writes the KV back, evicting
+// cold contexts when the tier is over capacity.
+//
+// Determinism: streaming timelines, admission order, and all latency
+// metrics depend only on (trace, options) — virtual time is advanced by
+// SharedLink's barrier, never by OS scheduling. Cache write-backs (and the
+// default hit path's pin release) are ordered before the completion that
+// unlocks successor admissions, so hit/miss outcomes are reproducible too.
+// Two timing-dependent corners remain, both mirroring a real cluster:
+// simultaneously admitted requests racing for a context one of them is
+// still writing back, and — with assemble_kv under capacity pressure —
+// a hit's pin lingering through its wall-clock assembly, which can shift
+// which context a concurrent write-back evicts.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster_metrics.h"
+#include "cluster/request_queue.h"
+#include "cluster/scheduler.h"
+#include "cluster/shared_link.h"
+#include "net/bandwidth_trace.h"
+#include "serving/engine.h"
+#include "storage/sharded_kv_store.h"
+
+namespace cachegen {
+
+class ClusterServer {
+ public:
+  struct Options {
+    size_t num_workers = 4;
+    SchedulerPolicyKind policy = SchedulerPolicyKind::kFifo;
+    double default_slo_s = 2.0;  // for requests with slo_s <= 0
+    // Decode the delivered bitstreams into a real KVCache after streaming
+    // (exercises the actual codec; costs real CPU, not virtual time).
+    bool assemble_kv = false;
+    // On a cache miss, prefill + encode + store the context so later
+    // requests hit (may evict under capacity pressure).
+    bool write_back_on_miss = true;
+    // First-chunk throughput prior handed to the streamer; defaults to the
+    // aggregate capacity divided by the number of in-flight streams.
+    std::optional<double> throughput_hint_gbps;
+  };
+
+  // `store` must be the same object `engine` was constructed with — the
+  // cluster pins/evicts through the sharded interface while the engine
+  // reads and writes chunks through KVStore.
+  ClusterServer(Engine& engine, std::shared_ptr<ShardedKVStore> store,
+                BandwidthTrace capacity, Options opts);
+
+  // Serve a whole trace to completion; returns one outcome per request,
+  // ordered by request id. Safe to call repeatedly (fresh link each run;
+  // the cache tier keeps its contents across runs).
+  std::vector<RequestOutcome> Serve(std::vector<ClusterRequest> trace);
+
+  // Prefill + encode + store a context pool up front (warm cache).
+  void Prestore(const RequestTraceOptions& trace_opts);
+
+  const Options& options() const { return opts_; }
+  const ShardedKVStore& store() const { return *store_; }
+  // Link of the last Serve() run (null before the first run).
+  const SharedLink* link() const { return link_.get(); }
+
+ private:
+  void ServeOne(ClusterRequest rq, size_t worker, size_t slot, double admit_s,
+                SharedLink::HoldId admit_hold, double gpu_share,
+                std::vector<RequestOutcome>* outcomes);
+
+  Engine& engine_;
+  std::shared_ptr<ShardedKVStore> store_;
+  BandwidthTrace capacity_;
+  Options opts_;
+  std::unique_ptr<SharedLink> link_;
+};
+
+}  // namespace cachegen

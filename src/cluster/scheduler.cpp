@@ -1,0 +1,80 @@
+#include "cluster/scheduler.h"
+
+#include <stdexcept>
+#include <tuple>
+
+namespace cachegen {
+
+namespace {
+
+class FifoPolicy final : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "fifo"; }
+  size_t Pick(const std::vector<const ClusterRequest*>& candidates,
+              double /*now_s*/) const override {
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      if (std::make_tuple(candidates[i]->arrival_s, candidates[i]->id) <
+          std::make_tuple(candidates[best]->arrival_s, candidates[best]->id)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+class ShortestLoadFirstPolicy final : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "shortest-load-first"; }
+  size_t Pick(const std::vector<const ClusterRequest*>& candidates,
+              double /*now_s*/) const override {
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      if (std::make_tuple(candidates[i]->spec.num_tokens, candidates[i]->arrival_s,
+                          candidates[i]->id) <
+          std::make_tuple(candidates[best]->spec.num_tokens,
+                          candidates[best]->arrival_s, candidates[best]->id)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+class SloDeadlineFirstPolicy final : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "slo-deadline-first"; }
+  size_t Pick(const std::vector<const ClusterRequest*>& candidates,
+              double /*now_s*/) const override {
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      const double di = candidates[i]->arrival_s + candidates[i]->slo_s;
+      const double db = candidates[best]->arrival_s + candidates[best]->slo_s;
+      if (std::make_tuple(di, candidates[i]->id) <
+          std::make_tuple(db, candidates[best]->id)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulerPolicy> MakeSchedulerPolicy(SchedulerPolicyKind kind) {
+  switch (kind) {
+    case SchedulerPolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+    case SchedulerPolicyKind::kShortestLoadFirst:
+      return std::make_unique<ShortestLoadFirstPolicy>();
+    case SchedulerPolicyKind::kSloDeadlineFirst:
+      return std::make_unique<SloDeadlineFirstPolicy>();
+  }
+  throw std::invalid_argument("unknown scheduler policy");
+}
+
+std::string SchedulerPolicyName(SchedulerPolicyKind kind) {
+  return MakeSchedulerPolicy(kind)->name();
+}
+
+}  // namespace cachegen

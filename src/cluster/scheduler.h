@@ -1,0 +1,42 @@
+// SLO-aware admission policies for the cluster coordinator.
+//
+// When a worker frees up, the coordinator has a set of queued requests whose
+// arrival instants have passed; the policy decides which one is admitted.
+// Three classics, each optimizing a different aggregate:
+//
+//   FIFO                 — fairness / worst-case queueing delay.
+//   ShortestLoadFirst    — mean TTFT: admit the request with the least KV
+//                          bytes to move (SJF on estimated link work).
+//   SloDeadlineFirst     — SLO-violation rate: earliest deadline first on
+//                          arrival + SLO budget.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/request_queue.h"
+
+namespace cachegen {
+
+enum class SchedulerPolicyKind {
+  kFifo,
+  kShortestLoadFirst,
+  kSloDeadlineFirst,
+};
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+  virtual std::string name() const = 0;
+
+  // Pick one of `candidates` (never empty; all arrived by `now_s`). Returns
+  // an index into the vector. Must be deterministic.
+  virtual size_t Pick(const std::vector<const ClusterRequest*>& candidates,
+                      double now_s) const = 0;
+};
+
+std::unique_ptr<SchedulerPolicy> MakeSchedulerPolicy(SchedulerPolicyKind kind);
+std::string SchedulerPolicyName(SchedulerPolicyKind kind);
+
+}  // namespace cachegen

@@ -1,0 +1,268 @@
+#include "cluster/shared_link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cachegen {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kByteEps = 1e-6;   // transfers within a byte-millionth are done
+constexpr double kTimeEps = 1e-12;
+}  // namespace
+
+SharedLink::SharedLink(BandwidthTrace capacity) : capacity_(std::move(capacity)) {}
+
+SharedLink::HoldId SharedLink::HoldAt(double t_s) {
+  std::lock_guard lk(mu_);
+  const HoldId id = next_hold_++;
+  holds_[id] = std::max(t_s, now_s_);
+  return id;
+}
+
+void SharedLink::ReleaseHold(HoldId id) {
+  std::lock_guard lk(mu_);
+  holds_.erase(id);
+  AdvanceLocked();
+  cv_.notify_all();
+}
+
+SharedLink::FlowId SharedLink::Register(double start_s, double weight) {
+  std::lock_guard lk(mu_);
+  const FlowId id = next_flow_++;
+  Flow f;
+  f.clock = std::max(start_s, now_s_);
+  f.weight = weight > 0.0 ? weight : 1.0;
+  flows_[id] = f;
+  // No AdvanceLocked: the new flow is unparked, so time is frozen until it
+  // posts its first Transfer (or deregisters).
+  return id;
+}
+
+void SharedLink::Deregister(FlowId id) {
+  std::lock_guard lk(mu_);
+  flows_.erase(id);
+  AdvanceLocked();
+  cv_.notify_all();
+}
+
+TransferRecord SharedLink::Transfer(FlowId id, double bytes) {
+  std::unique_lock lk(mu_);
+  Flow& f = flows_.at(id);
+  f.t_start = std::max(f.clock, now_s_);
+  f.remaining = std::max(bytes, 0.0);
+  f.wake_at = -1.0;
+  f.done = false;
+  if (f.remaining <= kByteEps) {
+    f.remaining = 0.0;
+    f.end_s = f.t_start;
+    f.done = true;
+  } else {
+    f.parked = true;
+    AdvanceLocked();
+  }
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return f.done; });
+  f.done = false;
+  f.clock = f.end_s;
+  TransferRecord rec;
+  rec.start_s = f.t_start;
+  rec.end_s = f.end_s;
+  rec.bytes = bytes;
+  return rec;
+}
+
+void SharedLink::WaitUntil(FlowId id, double t_s) {
+  std::unique_lock lk(mu_);
+  Flow& f = flows_.at(id);
+  if (t_s <= f.clock + kTimeEps) return;
+  f.t_start = f.clock;
+  f.remaining = 0.0;
+  f.wake_at = t_s;
+  f.done = false;
+  f.parked = true;
+  AdvanceLocked();
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return f.done; });
+  f.done = false;
+  f.clock = f.end_s;
+}
+
+double SharedLink::FlowClock(FlowId id) const {
+  std::lock_guard lk(mu_);
+  return flows_.at(id).clock;
+}
+
+void SharedLink::CompleteFlow(FlowId id, double free_s, uint64_t payload) {
+  std::lock_guard lk(mu_);
+  flows_.erase(id);
+  Completion c;
+  c.free_s = std::max(free_s, now_s_);
+  c.payload = payload;
+  c.hold = next_hold_++;
+  holds_[c.hold] = c.free_s;
+  completions_.push_back(c);
+  AdvanceLocked();
+  cv_.notify_all();
+}
+
+SharedLink::Completion SharedLink::PopCompletion(size_t in_flight) {
+  std::unique_lock lk(mu_);
+  size_t best = 0;
+  cv_.wait(lk, [&] {
+    if (completions_.empty()) return false;
+    best = 0;
+    for (size_t i = 1; i < completions_.size(); ++i) {
+      const Completion& a = completions_[i];
+      const Completion& b = completions_[best];
+      if (a.free_s < b.free_s ||
+          (a.free_s == b.free_s && a.payload < b.payload)) {
+        best = i;
+      }
+    }
+    // Safe to release: nothing still in flight can complete earlier. Any
+    // in-flight request not yet queued here either holds time at its
+    // admission instant or has a registered flow, so its eventual free
+    // instant lies strictly beyond now().
+    return completions_.size() >= in_flight ||
+           completions_[best].free_s <= now_s_ + 1e-9;
+  });
+  Completion c = completions_[best];
+  completions_.erase(completions_.begin() +
+                     static_cast<std::ptrdiff_t>(best));
+  return c;
+}
+
+double SharedLink::now() const {
+  std::lock_guard lk(mu_);
+  return now_s_;
+}
+
+size_t SharedLink::ActiveFlows() const {
+  std::lock_guard lk(mu_);
+  return flows_.size();
+}
+
+double SharedLink::MinHoldLocked() const {
+  double t = kInf;
+  for (const auto& [id, hold_t] : holds_) t = std::min(t, hold_t);
+  return t;
+}
+
+double SharedLink::NextSegmentBoundaryAfter(double t_s) const {
+  for (const auto& seg : capacity_.segments()) {
+    if (seg.start_s > t_s + kTimeEps) return seg.start_s;
+  }
+  return kInf;
+}
+
+void SharedLink::AdvanceLocked() {
+  for (;;) {
+    if (flows_.empty()) return;
+    for (const auto& [id, f] : flows_) {
+      if (!f.parked) return;  // a worker thread is mid-computation: freeze
+    }
+
+    // Wake waiters whose instant has been reached (even under a hold).
+    bool completed = false;
+    double dormant_t = kInf, wake_t = kInf;
+    std::vector<Flow*> active;
+    for (auto& [id, f] : flows_) {
+      if (f.remaining > 0.0) {
+        if (f.clock > now_s_ + kTimeEps) {
+          dormant_t = std::min(dormant_t, f.clock);  // admitted in the future
+        } else {
+          active.push_back(&f);
+        }
+      } else if (f.wake_at <= now_s_ + kTimeEps) {
+        f.parked = false;
+        f.done = true;
+        f.end_s = std::max(f.wake_at, f.t_start);
+        completed = true;
+      } else {
+        wake_t = std::min(wake_t, f.wake_at);
+      }
+    }
+    if (completed) return;
+
+    const double hold_cap = MinHoldLocked();
+    if (hold_cap <= now_s_ + kTimeEps) return;  // parked at a hold
+
+    double t_next = std::min({hold_cap, dormant_t, wake_t});
+    if (active.empty()) {
+      if (!std::isfinite(t_next)) return;
+      now_s_ = t_next;
+      continue;
+    }
+
+    t_next = std::min(t_next, NextSegmentBoundaryAfter(now_s_));
+    const double cap_bps = capacity_.BytesPerSecAt(now_s_);
+    if (cap_bps <= 0.0) {
+      // Dead air: jump to the next instant anything changes.
+      if (!std::isfinite(t_next)) return;
+      now_s_ = t_next;
+      continue;
+    }
+
+    double weight_sum = 0.0;
+    for (const Flow* f : active) weight_sum += f->weight;
+    std::vector<double> finish(active.size());
+    double min_finish = kInf;
+    for (size_t i = 0; i < active.size(); ++i) {
+      const double rate = cap_bps * active[i]->weight / weight_sum;
+      finish[i] = now_s_ + active[i]->remaining / rate;
+      min_finish = std::min(min_finish, finish[i]);
+    }
+
+    // If the binding event is a flow finish, complete it by construction:
+    // `remaining -= rate * dt` cannot be trusted to reach zero once now_s_ is
+    // large enough that rate * ulp(now_s_) rivals the byte epsilon.
+    const bool finish_event = min_finish <= t_next;
+    if (finish_event) t_next = min_finish;
+    const double finish_tol =
+        t_next + 4.0 * std::numeric_limits<double>::epsilon() * std::max(1.0, t_next);
+
+    const double dt = t_next - now_s_;
+    for (size_t i = 0; i < active.size(); ++i) {
+      Flow* f = active[i];
+      if (finish_event && finish[i] <= finish_tol) {
+        f->remaining = 0.0;
+        f->parked = false;
+        f->done = true;
+        f->end_s = t_next;
+        completed = true;
+      } else {
+        const double rate = cap_bps * f->weight / weight_sum;
+        f->remaining = std::max(0.0, f->remaining - rate * dt);
+      }
+    }
+    now_s_ = t_next;
+    if (completed) return;
+  }
+}
+
+ClientLink::ClientLink(SharedLink& shared, SharedLink::FlowId flow)
+    : shared_(shared), flow_(flow) {
+  now_s_ = shared_.FlowClock(flow_);
+}
+
+TransferRecord ClientLink::Send(double bytes) {
+  const TransferRecord rec = shared_.Transfer(flow_, bytes);
+  now_s_ = rec.end_s;
+  return rec;
+}
+
+void ClientLink::AdvanceTo(double t_s) {
+  shared_.WaitUntil(flow_, t_s);
+  now_s_ = std::max(now_s_, t_s);
+}
+
+double ClientLink::CurrentGbps() const {
+  // The path's aggregate capacity at this flow's clock. The flow's own
+  // share varies with contention; dividing by ActiveFlows() here would read
+  // a wall-clock-racy count, so callers wanting the observed per-flow rate
+  // should use TransferRecord::ThroughputGbps() instead.
+  return shared_.CapacityGbpsAt(now_s_);
+}
+
+}  // namespace cachegen

@@ -1,0 +1,138 @@
+// SharedLink: one physical path, many concurrent KV streams.
+//
+// The single-request substrate models the network as a private Link whose
+// clock only this request advances. A serving cluster breaks that: N
+// in-flight requests share the storage-to-GPU path, and each one's chunk
+// transfers slow down by exactly the bandwidth the others are using (the
+// paper's Fig. 12/13 regime). SharedLink simulates that contention as a
+// fluid max-min flow model in *virtual time*, while the per-request code —
+// the unmodified KVStreamer — runs on real worker threads:
+//
+//   * Each request registers a Flow; its ClientLink (a Link subclass) turns
+//     KVStreamer's Send() calls into Transfer() calls on the arbiter.
+//   * Aggregate capacity comes from a BandwidthTrace; at any virtual instant
+//     every flow with a pending transfer receives capacity * w_i / sum(w),
+//     i.e. weighted fair sharing (equal weights -> max-min fairness).
+//   * Virtual time advances only when every registered flow is parked in
+//     Transfer()/WaitUntil() — a conservative barrier that makes the
+//     simulation deterministic regardless of OS thread scheduling.
+//   * Holds cap virtual time so the cluster coordinator can admit a request
+//     at virtual instant t before other flows stream past t.
+//
+// The completion channel (CompleteFlow / PopCompletion) closes the loop with
+// the coordinator: a finishing worker atomically {queues its completion,
+// holds time at its finish instant, removes its flow}, and PopCompletion
+// releases completions in virtual-time order — so scheduling decisions
+// depend only on simulated timestamps, never on thread races.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "net/bandwidth_trace.h"
+#include "net/link.h"
+
+namespace cachegen {
+
+class SharedLink {
+ public:
+  using FlowId = uint64_t;
+  using HoldId = uint64_t;
+
+  explicit SharedLink(BandwidthTrace capacity);
+
+  // --- holds (virtual-time caps) -------------------------------------------
+  // Virtual time never advances past the earliest outstanding hold.
+  HoldId HoldAt(double t_s);
+  void ReleaseHold(HoldId id);
+
+  // --- flows ----------------------------------------------------------------
+  // Register a flow whose first transfer may start at `start_s` (>= now()).
+  // The flow counts against the barrier immediately: until it posts its
+  // first Transfer (or deregisters) virtual time is frozen.
+  FlowId Register(double start_s, double weight = 1.0);
+  void Deregister(FlowId id);
+
+  // Move `bytes` over the shared path; blocks the calling worker thread
+  // until the fluid simulation completes the transfer. Returns the record in
+  // virtual time (start = the flow's clock when posted).
+  TransferRecord Transfer(FlowId id, double bytes);
+
+  // Park the flow until virtual time `t_s` without consuming bandwidth.
+  void WaitUntil(FlowId id, double t_s);
+
+  double FlowClock(FlowId id) const;
+
+  // --- completion channel ---------------------------------------------------
+  struct Completion {
+    double free_s = 0.0;    // virtual instant the worker becomes free
+    uint64_t payload = 0;   // caller-defined (e.g. request index)
+    HoldId hold = 0;        // release after processing to let time pass free_s
+  };
+
+  // Atomically: hold virtual time at `free_s`, remove the flow, queue the
+  // completion. Called by the finishing worker thread.
+  void CompleteFlow(FlowId id, double free_s, uint64_t payload);
+
+  // Block until the earliest queued completion is safe to hand out: either
+  // its free_s has been reached, or all `in_flight` requests' completions
+  // are queued (so nothing earlier can still arrive). Ties broken by
+  // payload, making coordinator decisions deterministic.
+  Completion PopCompletion(size_t in_flight);
+
+  // --- introspection --------------------------------------------------------
+  double now() const;
+  double CapacityGbpsAt(double t_s) const { return capacity_.GbpsAt(t_s); }
+  size_t ActiveFlows() const;
+  const BandwidthTrace& capacity() const { return capacity_; }
+
+ private:
+  struct Flow {
+    double clock = 0.0;      // flow-local time: end of last finished transfer
+    double weight = 1.0;
+    bool parked = false;     // thread blocked in Transfer/WaitUntil
+    bool done = false;       // pending op finished; thread may resume
+    double remaining = 0.0;  // bytes left of the pending transfer
+    double wake_at = -1.0;   // WaitUntil target (when remaining == 0)
+    double t_start = 0.0;    // pending transfer start
+    double end_s = 0.0;      // pending op completion time
+  };
+
+  // Advance virtual time while every flow is parked, holds permit, and no
+  // completion has been produced. Caller holds mu_.
+  void AdvanceLocked();
+  double NextSegmentBoundaryAfter(double t_s) const;
+  double MinHoldLocked() const;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  BandwidthTrace capacity_;
+  double now_s_ = 0.0;
+  std::map<FlowId, Flow> flows_;
+  std::map<HoldId, double> holds_;
+  std::vector<Completion> completions_;
+  FlowId next_flow_ = 1;
+  HoldId next_hold_ = 1;
+};
+
+// Adapter presenting one SharedLink flow through the Link interface, so the
+// single-request KVStreamer streams over a contended path unmodified.
+class ClientLink final : public Link {
+ public:
+  ClientLink(SharedLink& shared, SharedLink::FlowId flow);
+
+  TransferRecord Send(double bytes) override;
+  void AdvanceTo(double t_s) override;
+  double now() const override { return now_s_; }
+  double CurrentGbps() const override;
+
+ private:
+  SharedLink& shared_;
+  SharedLink::FlowId flow_;
+};
+
+}  // namespace cachegen

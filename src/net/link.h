@@ -1,9 +1,14 @@
-// Link: a stateful simulated network connection between the storage server
-// holding encoded KV chunks and the inference server (Fig. 1). Transfers are
+// Link: a simulated network connection between the storage server holding
+// encoded KV chunks and the inference server (Fig. 1). Transfers are
 // sequential (one connection) and advance the link clock; the streamer reads
 // back the throughput observed for the previous chunk to drive adaptation
 // (§5.3: "estimates the bandwidth by measuring the throughput of the
 // previous chunk").
+//
+// The interface is virtual so one request's streamer is agnostic to whether
+// it owns the whole path (Link over a BandwidthTrace) or shares it with
+// other in-flight requests (cluster SharedLink::ClientLink, whose transfer
+// times come from a fair-share arbiter over the aggregate capacity).
 #pragma once
 
 #include "net/bandwidth_trace.h"
@@ -27,20 +32,24 @@ class Link {
  public:
   explicit Link(BandwidthTrace trace, double start_time_s = 0.0)
       : trace_(std::move(trace)), now_s_(start_time_s) {}
+  virtual ~Link() = default;
 
   // Send `bytes` starting at the current link time; advances the clock and
   // returns the transfer record.
-  TransferRecord Send(double bytes);
+  virtual TransferRecord Send(double bytes);
 
   // Advance the clock without sending (e.g. while the GPU recomputes a text
   // chunk and the link idles).
-  void AdvanceTo(double t_s);
+  virtual void AdvanceTo(double t_s);
 
-  double now() const { return now_s_; }
-  double CurrentGbps() const { return trace_.GbpsAt(now_s_); }
-  const BandwidthTrace& trace() const { return trace_; }
+  virtual double now() const { return now_s_; }
+  virtual double CurrentGbps() const { return trace_.GbpsAt(now_s_); }
 
- private:
+ protected:
+  // For subclasses (e.g. SharedLink clients) whose timing does not come from
+  // a private trace; the placeholder trace is never consulted by them.
+  Link() : trace_(BandwidthTrace::Constant(1.0)), now_s_(0.0) {}
+
   BandwidthTrace trace_;
   double now_s_;
 };

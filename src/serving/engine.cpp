@@ -121,8 +121,11 @@ GenerateResult Engine::GenerateWithKV(const ContextSpec& ctx, double quality) co
 }
 
 const CodecCalibration& Engine::calibration() {
-  if (calibration_) return *calibration_;
+  std::call_once(calibration_once_, [this] { BuildCalibration(); });
+  return *calibration_;
+}
 
+void Engine::BuildCalibration() {
   CodecCalibration calib;
   // Validation context disjoint from the profiling set.
   ContextSpec val;
@@ -150,11 +153,28 @@ const CodecCalibration& Engine::calibration() {
     calib.quant_quality[bits] = quality_.QualityFromKV(cache, r.recon);
   }
   calibration_ = std::move(calib);
-  return *calibration_;
 }
 
 TTFTModel Engine::MakeTTFTModel() {
   return TTFTModel(cost_, model_, calibration(), opts_.chunk_tokens);
+}
+
+ContextPlan Engine::PlanFromCalibration(size_t tokens) {
+  const CodecCalibration& calib = calibration();
+  ContextPlan plan;
+  plan.total_tokens = tokens;
+  plan.quality_per_level = calib.quality_per_level;
+  plan.text_bytes_per_token = calib.text_bytes_per_token;
+  for (const ChunkRange& range : SplitIntoChunks(tokens, opts_.chunk_tokens)) {
+    ChunkPlan cp;
+    cp.range = range;
+    cp.bytes_per_level.reserve(calib.bytes_per_token_per_level.size());
+    for (double bpt : calib.bytes_per_token_per_level) {
+      cp.bytes_per_level.push_back(bpt * static_cast<double>(range.size()));
+    }
+    plan.chunks.push_back(std::move(cp));
+  }
+  return plan;
 }
 
 }  // namespace cachegen

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -75,16 +76,25 @@ class Engine {
 
   // Offline codec calibration (lazy, cached): per-level sizes/quality and
   // the quantization baseline curve, feeding TTFTModel and the benches.
+  // Safe to call from multiple threads; the first caller pays the cost.
   const CodecCalibration& calibration();
 
   TTFTModel MakeTTFTModel();
 
-  // Encoder/decoder for a given level id (shared TableSets, built lazily).
+  // Streaming plan for a context of `tokens`, priced from the codec
+  // calibration instead of re-encoding — what the cluster and the sweeps use
+  // when only sizes and quality factors matter (thread-safe).
+  ContextPlan PlanFromCalibration(size_t tokens);
+
+  // Encoder/decoder for a given level id (shared TableSets). The full ladder
+  // is built at construction and never mutated afterwards, so these are safe
+  // to call concurrently from cluster workers sharing one Engine.
   const KVEncoder& EncoderFor(int level) const;
   const KVDecoder& DecoderFor(int level) const;
 
  private:
   void BuildProfile();
+  void BuildCalibration();
 
   Options opts_;
   ModelConfig model_;
@@ -93,8 +103,9 @@ class Engine {
   QualityModel quality_;
   std::shared_ptr<KVStore> store_;
   std::shared_ptr<const KVProfile> profile_;
-  mutable std::vector<std::unique_ptr<KVEncoder>> encoders_;
-  mutable std::vector<std::unique_ptr<KVDecoder>> decoders_;
+  std::vector<std::unique_ptr<KVEncoder>> encoders_;
+  std::vector<std::unique_ptr<KVDecoder>> decoders_;
+  std::once_flag calibration_once_;
   std::optional<CodecCalibration> calibration_;
 };
 

@@ -1,11 +1,60 @@
 #include "storage/kv_store.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
 namespace cachegen {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSafeIdChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string SanitizeContextId(const std::string& context_id) {
+  constexpr size_t kMaxSafeLen = 128;
+  const bool reserved =
+      context_id.empty() || context_id == "." || context_id == "..";
+  bool safe = !reserved && context_id.size() <= kMaxSafeLen;
+  if (safe) {
+    for (char c : context_id) {
+      if (!IsSafeIdChar(c)) {
+        safe = false;
+        break;
+      }
+    }
+  }
+  if (safe) return context_id;
+
+  std::string cleaned;
+  cleaned.reserve(std::min<size_t>(context_id.size(), 48) + 20);
+  for (char c : context_id) {
+    if (cleaned.size() >= 48) break;
+    cleaned.push_back(IsSafeIdChar(c) ? c : '_');
+  }
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(context_id)));
+  // '%' is not in the pass-through alphabet, so no safe id can ever forge a
+  // mangled name and collide with a different mangled id.
+  return cleaned + "%" + hash;
+}
 
 void MemoryKVStore::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
   data_[key] = std::vector<uint8_t>(bytes.begin(), bytes.end());
@@ -50,8 +99,12 @@ FileKVStore::FileKVStore(fs::path root) : root_(std::move(root)) {
   fs::create_directories(root_);
 }
 
+fs::path FileKVStore::DirFor(const std::string& context_id) const {
+  return root_ / SanitizeContextId(context_id);
+}
+
 fs::path FileKVStore::PathFor(const ChunkKey& key) const {
-  return root_ / key.context_id /
+  return DirFor(key.context_id) /
          ("chunk" + std::to_string(key.chunk_index) + "_level" +
           std::to_string(key.level_id) + ".cgkv");
 }
@@ -78,11 +131,11 @@ std::optional<std::vector<uint8_t>> FileKVStore::Get(const ChunkKey& key) const 
 }
 
 bool FileKVStore::ContainsContext(const std::string& context_id) const {
-  return fs::exists(root_ / context_id);
+  return fs::exists(DirFor(context_id));
 }
 
 void FileKVStore::EraseContext(const std::string& context_id) {
-  fs::remove_all(root_ / context_id);
+  fs::remove_all(DirFor(context_id));
 }
 
 uint64_t FileKVStore::TotalBytes() const {
@@ -96,7 +149,7 @@ uint64_t FileKVStore::TotalBytes() const {
 
 uint64_t FileKVStore::ContextBytes(const std::string& context_id) const {
   uint64_t n = 0;
-  const fs::path dir = root_ / context_id;
+  const fs::path dir = DirFor(context_id);
   if (!fs::exists(dir)) return 0;
   for (const auto& entry : fs::recursive_directory_iterator(dir)) {
     if (entry.is_regular_file()) n += entry.file_size();

@@ -19,6 +19,21 @@
 
 namespace cachegen {
 
+// FNV-1a 64-bit hash, independent of std::hash so id mangling and shard
+// placement are stable across platforms and runs.
+uint64_t Fnv1a64(const std::string& s);
+
+// Map an arbitrary context id onto a single safe directory-name component.
+// Ids made of [A-Za-z0-9._-] (other than "." / "..") pass through unchanged;
+// anything else — path separators, "..", control bytes, over-long ids — is
+// replaced by a cleaned prefix plus '%' plus an FNV-1a hash of the original
+// id. Since '%' never passes through, the mangled namespace is disjoint
+// from the pass-through namespace, and no id can escape the store root.
+// Distinctness of two mangled ids is hash-probabilistic (64-bit FNV-1a is
+// not collision-resistant); adversarial multi-tenant isolation needs a
+// cryptographic digest here.
+std::string SanitizeContextId(const std::string& context_id);
+
 struct ChunkKey {
   std::string context_id;
   uint32_t chunk_index = 0;
@@ -66,6 +81,7 @@ class FileKVStore final : public KVStore {
   uint64_t ContextBytes(const std::string& context_id) const override;
 
  private:
+  std::filesystem::path DirFor(const std::string& context_id) const;
   std::filesystem::path PathFor(const ChunkKey& key) const;
 
   std::filesystem::path root_;

@@ -1,0 +1,177 @@
+#include "storage/sharded_kv_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cachegen {
+
+ShardedKVStore::ShardedKVStore(Options opts, BackendFactory factory)
+    : opts_(opts) {
+  if (opts_.num_shards == 0) throw std::invalid_argument("ShardedKVStore: 0 shards");
+  shard_capacity_ = opts_.capacity_bytes == 0
+                        ? 0
+                        : std::max<uint64_t>(1, opts_.capacity_bytes / opts_.num_shards);
+  shards_.reserve(opts_.num_shards);
+  for (size_t i = 0; i < opts_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->backend = factory ? factory(i) : std::make_unique<MemoryKVStore>();
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedKVStore::Shard& ShardedKVStore::ShardFor(const std::string& context_id) {
+  return *shards_[Fnv1a64(context_id) % shards_.size()];
+}
+
+const ShardedKVStore::Shard& ShardedKVStore::ShardFor(
+    const std::string& context_id) const {
+  return *shards_[Fnv1a64(context_id) % shards_.size()];
+}
+
+void ShardedKVStore::TouchLocked(ContextMeta& meta, double t_s) {
+  meta.last_touch_s = std::max(meta.last_touch_s, t_s);
+}
+
+void ShardedKVStore::EnforceCapacityLocked(Shard& shard, const std::string* keep) {
+  if (shard_capacity_ == 0) return;
+  // A shard never evicts its last context: a single context larger than the
+  // per-shard slice soft-overflows instead of being evicted by its own
+  // write-back's Unpin, which would otherwise turn every future request for
+  // it into a permanent re-prefill/re-encode/re-evict cycle.
+  while (shard.bytes > shard_capacity_ && shard.contexts.size() > 1) {
+    const std::string* victim = nullptr;
+    const ContextMeta* victim_meta = nullptr;
+    for (const auto& [id, meta] : shard.contexts) {
+      if ((keep && id == *keep) || meta.pins > 0) continue;
+      // Tie-break equal touch instants by id: deterministic under
+      // concurrency, unlike a wall-clock-ordered sequence counter.
+      if (!victim || meta.last_touch_s < victim_meta->last_touch_s ||
+          (meta.last_touch_s == victim_meta->last_touch_s && id < *victim)) {
+        victim = &id;
+        victim_meta = &meta;
+      }
+    }
+    if (!victim) return;  // everything left is pinned or the context being written
+    const uint64_t freed = victim_meta->bytes;
+    shard.backend->EraseContext(*victim);
+    shard.bytes -= freed;
+    shard.contexts.erase(*victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evicted_bytes_.fetch_add(freed, std::memory_order_relaxed);
+  }
+}
+
+void ShardedKVStore::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
+  Shard& shard = ShardFor(key.context_id);
+  std::lock_guard lock(shard.mu);
+  ContextMeta& meta = shard.contexts[key.context_id];
+  const auto chunk_id = std::make_pair(key.chunk_index, key.level_id);
+  const auto it = meta.chunk_bytes.find(chunk_id);
+  const uint64_t old_size = it == meta.chunk_bytes.end() ? 0 : it->second;
+  shard.backend->Put(key, bytes);
+  meta.chunk_bytes[chunk_id] = static_cast<uint32_t>(bytes.size());
+  meta.bytes += bytes.size() - old_size;
+  shard.bytes += bytes.size() - old_size;
+  // No recency update here: Put has no virtual-time source. Writers stamp
+  // recency via Touch()/LookupAndPin() with cluster time.
+  EnforceCapacityLocked(shard, &key.context_id);
+}
+
+std::optional<std::vector<uint8_t>> ShardedKVStore::Get(const ChunkKey& key) const {
+  const Shard& shard = ShardFor(key.context_id);
+  std::lock_guard lock(shard.mu);
+  return shard.backend->Get(key);
+}
+
+bool ShardedKVStore::ContainsContext(const std::string& context_id) const {
+  const Shard& shard = ShardFor(context_id);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.contexts.find(context_id);
+  // A pin-only placeholder (no chunks written yet) does not count as present.
+  return it != shard.contexts.end() && !it->second.chunk_bytes.empty();
+}
+
+void ShardedKVStore::EraseContext(const std::string& context_id) {
+  Shard& shard = ShardFor(context_id);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.contexts.find(context_id);
+  if (it == shard.contexts.end()) return;
+  // Same contract as eviction: a pinned context is never removed out from
+  // under an in-flight request. The erase is simply refused; callers that
+  // must reclaim it retry after the pin holder finishes.
+  if (it->second.pins > 0) return;
+  shard.backend->EraseContext(context_id);
+  shard.bytes -= it->second.bytes;
+  shard.contexts.erase(it);
+}
+
+uint64_t ShardedKVStore::TotalBytes() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->bytes;
+  }
+  return n;
+}
+
+uint64_t ShardedKVStore::ContextBytes(const std::string& context_id) const {
+  const Shard& shard = ShardFor(context_id);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.contexts.find(context_id);
+  return it == shard.contexts.end() ? 0 : it->second.bytes;
+}
+
+bool ShardedKVStore::LookupAndPin(const std::string& context_id, double t_s) {
+  Shard& shard = ShardFor(context_id);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.contexts.find(context_id);
+  if (it == shard.contexts.end() || it->second.chunk_bytes.empty()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  TouchLocked(it->second, t_s);
+  ++it->second.pins;
+  return true;
+}
+
+void ShardedKVStore::Touch(const std::string& context_id, double t_s) {
+  Shard& shard = ShardFor(context_id);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.contexts.find(context_id);
+  if (it != shard.contexts.end()) TouchLocked(it->second, t_s);
+}
+
+void ShardedKVStore::Pin(const std::string& context_id) {
+  Shard& shard = ShardFor(context_id);
+  std::lock_guard lock(shard.mu);
+  ++shard.contexts[context_id].pins;  // creates the meta entry if absent
+}
+
+void ShardedKVStore::Unpin(const std::string& context_id) {
+  Shard& shard = ShardFor(context_id);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.contexts.find(context_id);
+  if (it == shard.contexts.end()) return;
+  if (it->second.pins > 0) --it->second.pins;
+  // A pin-only placeholder (Pin on an id that was never written) is dropped
+  // once unpinned so it cannot shadow ContainsContext.
+  if (it->second.pins == 0 && it->second.chunk_bytes.empty()) {
+    shard.contexts.erase(it);
+  }
+  // Pins can force a shard over capacity (nothing evictable while an
+  // in-flight context is written); re-enforce once the pin drops.
+  EnforceCapacityLocked(shard, nullptr);
+}
+
+ShardedKVStore::Stats ShardedKVStore::stats() const {
+  Stats s;
+  s.context_hits = hits_.load(std::memory_order_relaxed);
+  s.context_misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
+  s.stored_bytes = TotalBytes();
+  return s;
+}
+
+}  // namespace cachegen

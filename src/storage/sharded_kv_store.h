@@ -1,0 +1,116 @@
+// ShardedKVStore: the cluster-grade KV cache tier. Wraps one KVStore backend
+// per shard (in-memory by default, directory-backed via a custom factory)
+// behind per-shard locks so concurrent workers contend only within a shard —
+// the same sharding-by-key discipline line-rate forwarders use to scale.
+//
+// On top of plain chunk storage it adds what a serving cluster needs:
+//   * a capacity bound (total bytes across all levels), enforced per shard
+//     with LRU eviction at whole-context granularity — a context whose
+//     chunks are half-evicted is useless, so eviction is all-or-nothing.
+//     A shard keeps at least one context, so a single context bigger than
+//     its per-shard slice (capacity/num_shards) overflows rather than
+//     thrashing; size shards so the hottest context fits a slice;
+//   * pinning, so a context being streamed or written is never evicted
+//     out from under an in-flight request;
+//   * hit/miss/eviction counters, the cache-health metrics the cluster
+//     benches report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/kv_store.h"
+
+namespace cachegen {
+
+class ShardedKVStore final : public KVStore {
+ public:
+  struct Options {
+    size_t num_shards = 8;
+    // Total capacity in stored bytes across all shards; 0 = unbounded.
+    // Enforced as capacity/num_shards per shard.
+    uint64_t capacity_bytes = 0;
+  };
+
+  struct Stats {
+    uint64_t context_hits = 0;    // LookupAndPin found the context
+    uint64_t context_misses = 0;  // LookupAndPin did not
+    uint64_t evictions = 0;       // contexts evicted for capacity
+    uint64_t evicted_bytes = 0;
+    uint64_t stored_bytes = 0;    // current total (same as TotalBytes())
+  };
+
+  using BackendFactory = std::function<std::unique_ptr<KVStore>(size_t shard)>;
+
+  // Default backend: one MemoryKVStore per shard.
+  explicit ShardedKVStore(Options opts, BackendFactory factory = nullptr);
+
+  // --- KVStore interface (each call locks exactly one shard) ---------------
+  void Put(const ChunkKey& key, std::span<const uint8_t> bytes) override;
+  std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const override;
+  bool ContainsContext(const std::string& context_id) const override;
+  void EraseContext(const std::string& context_id) override;
+  uint64_t TotalBytes() const override;
+  uint64_t ContextBytes(const std::string& context_id) const override;
+
+  // --- cluster-facing cache operations --------------------------------------
+  // Atomically: test presence, count hit/miss, LRU-touch at time `t_s`
+  // (virtual time from the cluster clock keeps eviction order deterministic),
+  // and pin on hit so the context survives until Unpin.
+  bool LookupAndPin(const std::string& context_id, double t_s);
+
+  // Pin regardless of presence (used while a miss is being written back).
+  void Pin(const std::string& context_id);
+  void Unpin(const std::string& context_id);
+
+  // LRU-touch without hit/miss accounting. Put() deliberately does not
+  // refresh recency (it has no virtual-time source), so a write-back must
+  // Touch the context or it would look idle-since-t=0 and be the first
+  // eviction victim.
+  void Touch(const std::string& context_id, double t_s);
+
+  Stats stats() const;
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t capacity_bytes() const { return opts_.capacity_bytes; }
+
+ private:
+  struct ContextMeta {
+    // Exact per-chunk sizes so overwrites are accounted without re-reading
+    // the backend.
+    std::map<std::pair<uint32_t, int32_t>, uint32_t> chunk_bytes;
+    uint64_t bytes = 0;
+    double last_touch_s = 0.0;  // equal instants tie-break by context id
+    int pins = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<KVStore> backend;
+    std::unordered_map<std::string, ContextMeta> contexts;
+    uint64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& context_id);
+  const Shard& ShardFor(const std::string& context_id) const;
+  // Evict LRU unpinned contexts (never `*keep` when non-null) until the
+  // shard fits its capacity slice. Caller holds the shard lock.
+  void EnforceCapacityLocked(Shard& shard, const std::string* keep);
+  void TouchLocked(ContextMeta& meta, double t_s);
+
+  Options opts_;
+  uint64_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> evicted_bytes_{0};
+};
+
+}  // namespace cachegen

@@ -19,7 +19,8 @@ KVStreamer::KVStreamer(const CostModel& cost, const ModelConfig& model,
 
 StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
                                 double gpu_share,
-                                std::optional<double> throughput_hint_gbps) const {
+                                std::optional<double> throughput_hint_gbps,
+                                StreamMode mode) const {
   StreamResult result;
   const double t0 = link.now();
   double gpu_free_s = t0;
@@ -31,7 +32,9 @@ StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
   for (size_t i = 0; i < plan.chunks.size(); ++i) {
     const ChunkPlan& chunk = plan.chunks[i];
     StreamConfig config{false, kDefaultFirstLevel};
-    if (measured_bytes_per_s > 0.0) {
+    if (mode == StreamMode::kForceText) {
+      config = StreamConfig{true, kDefaultFirstLevel};
+    } else if (measured_bytes_per_s > 0.0) {
       config = adapter_
                    .Choose(plan, i, measured_bytes_per_s, link.now() - t0, gpu_share)
                    .config;

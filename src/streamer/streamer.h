@@ -36,6 +36,12 @@ struct StreamResult {
   double bytes_sent = 0.0;
 };
 
+// Per-chunk configuration policy for one stream.
+enum class StreamMode {
+  kAdaptive,   // Algorithm-1 adapter picks text/level per chunk (default)
+  kForceText,  // every chunk ships as text + recompute — the cache-miss path
+};
+
 class KVStreamer {
  public:
   KVStreamer(const CostModel& cost, const ModelConfig& model, double slo_s,
@@ -45,7 +51,8 @@ class KVStreamer {
   // in for prior knowledge of the path (§5.3); without it the first chunk
   // goes out at the default medium encoding level.
   StreamResult Stream(const ContextPlan& plan, Link& link, double gpu_share = 1.0,
-                      std::optional<double> throughput_hint_gbps = std::nullopt) const;
+                      std::optional<double> throughput_hint_gbps = std::nullopt,
+                      StreamMode mode = StreamMode::kAdaptive) const;
 
   const Adapter& adapter() const { return adapter_; }
 

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/sharded_kv_store.h"
+
+namespace cachegen {
+namespace {
+
+std::vector<uint8_t> Blob(size_t n, uint8_t fill) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+TEST(ShardedKVStore, BasicKVStoreSemantics) {
+  ShardedKVStore store({.num_shards = 4});
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  store.Put({"ctx-a", 0, 1}, payload);
+  ASSERT_TRUE(store.Get({"ctx-a", 0, 1}).has_value());
+  EXPECT_EQ(*store.Get({"ctx-a", 0, 1}), payload);
+  EXPECT_FALSE(store.Get({"ctx-a", 1, 1}).has_value());
+  EXPECT_TRUE(store.ContainsContext("ctx-a"));
+  EXPECT_FALSE(store.ContainsContext("ctx-b"));
+  EXPECT_EQ(store.TotalBytes(), 3u);
+  EXPECT_EQ(store.ContextBytes("ctx-a"), 3u);
+
+  store.Put({"ctx-a", 0, 1}, Blob(10, 9));  // overwrite re-accounts
+  EXPECT_EQ(store.TotalBytes(), 10u);
+  store.EraseContext("ctx-a");
+  EXPECT_FALSE(store.ContainsContext("ctx-a"));
+  EXPECT_EQ(store.TotalBytes(), 0u);
+}
+
+TEST(ShardedKVStore, LruEvictionRespectsCapacityAndRecency) {
+  // One shard so the LRU order is global and exact.
+  ShardedKVStore store({.num_shards = 1, .capacity_bytes = 250});
+  store.Put({"a", 0, 0}, Blob(100, 1));
+  store.Put({"b", 0, 0}, Blob(100, 2));
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_TRUE(store.LookupAndPin("a", 1.0));
+  store.Unpin("a");
+  store.Put({"c", 0, 0}, Blob(100, 3));  // 300 > 250 -> evict "b"
+  EXPECT_TRUE(store.ContainsContext("a"));
+  EXPECT_FALSE(store.ContainsContext("b"));
+  EXPECT_TRUE(store.ContainsContext("c"));
+  EXPECT_LE(store.TotalBytes(), 250u);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.evicted_bytes, 100u);
+}
+
+TEST(ShardedKVStore, PinnedContextsSurviveEviction) {
+  ShardedKVStore store({.num_shards = 1, .capacity_bytes = 150});
+  store.Put({"hot", 0, 0}, Blob(100, 1));
+  ASSERT_TRUE(store.LookupAndPin("hot", 1.0));  // pinned
+  store.Put({"cold", 0, 0}, Blob(100, 2));      // over capacity
+  // "hot" is pinned and "cold" is the context being written: nothing
+  // evictable, so the store temporarily overflows rather than corrupting an
+  // in-flight context.
+  EXPECT_TRUE(store.ContainsContext("hot"));
+  EXPECT_TRUE(store.ContainsContext("cold"));
+  store.Unpin("hot");
+  // Next Put re-enforces: 300 bytes against 150 evicts "cold" (older touch)
+  // and then the now-unpinned "hot".
+  store.Put({"new", 0, 0}, Blob(100, 3));
+  EXPECT_FALSE(store.ContainsContext("cold"));
+  EXPECT_FALSE(store.ContainsContext("hot"));
+  EXPECT_TRUE(store.ContainsContext("new"));
+  EXPECT_GE(store.stats().evictions, 2u);
+}
+
+TEST(ShardedKVStore, LookupCountsHitsAndMisses) {
+  ShardedKVStore store({.num_shards = 2});
+  EXPECT_FALSE(store.LookupAndPin("nope", 0.0));
+  store.Put({"yes", 0, 0}, Blob(4, 1));
+  EXPECT_TRUE(store.LookupAndPin("yes", 1.0));
+  store.Unpin("yes");
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.context_hits, 1u);
+  EXPECT_EQ(stats.context_misses, 1u);
+}
+
+TEST(ShardedKVStore, EraseRespectsPins) {
+  ShardedKVStore store({.num_shards = 1});
+  store.Put({"ctx", 0, 0}, Blob(8, 1));
+  ASSERT_TRUE(store.LookupAndPin("ctx", 1.0));
+  store.EraseContext("ctx");  // refused: in use
+  EXPECT_TRUE(store.ContainsContext("ctx"));
+  EXPECT_TRUE(store.Get({"ctx", 0, 0}).has_value());
+  store.Unpin("ctx");
+  store.EraseContext("ctx");
+  EXPECT_FALSE(store.ContainsContext("ctx"));
+}
+
+TEST(ShardedKVStore, PinPlaceholderDoesNotShadowContains) {
+  ShardedKVStore store({.num_shards = 1});
+  store.Pin("ghost");
+  EXPECT_FALSE(store.ContainsContext("ghost"));
+  store.Unpin("ghost");
+  EXPECT_EQ(store.TotalBytes(), 0u);
+}
+
+// The satellite stress test: concurrent Put/Get/Erase/Lookup across threads
+// with a tight capacity, then byte-accounting and counter invariants.
+TEST(ShardedKVStore, ConcurrentStressKeepsInvariants) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOpsPerThread = 2000;
+  constexpr size_t kContexts = 32;
+  ShardedKVStore store({.num_shards = 4, .capacity_bytes = 64 * 1024});
+
+  std::atomic<uint64_t> lookups{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &lookups, t] {
+      Rng rng(0xABCDEF00ULL + t);
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        const std::string id = "ctx-" + std::to_string(rng.NextBelow(kContexts));
+        switch (rng.NextBelow(4)) {
+          case 0: {
+            const uint32_t chunk = static_cast<uint32_t>(rng.NextBelow(4));
+            store.Put({id, chunk, 0},
+                      Blob(64 + rng.NextBelow(2048), static_cast<uint8_t>(t)));
+            break;
+          }
+          case 1:
+            (void)store.Get({id, 0, 0});
+            break;
+          case 2:
+            store.EraseContext(id);
+            break;
+          default:
+            lookups.fetch_add(1);
+            if (store.LookupAndPin(id, static_cast<double>(i))) {
+              (void)store.Get({id, 0, 0});
+              store.Unpin(id);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Byte accounting is exact: per-context sums equal the global count.
+  uint64_t sum = 0;
+  for (size_t c = 0; c < kContexts; ++c) {
+    sum += store.ContextBytes("ctx-" + std::to_string(c));
+  }
+  EXPECT_EQ(sum, store.TotalBytes());
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.context_hits + stats.context_misses, lookups.load());
+  EXPECT_EQ(stats.stored_bytes, store.TotalBytes());
+  // The working set (32 ctx * up to 4 chunks * ~2 KB) far exceeds 64 KB, so
+  // capacity pressure must have evicted.
+  EXPECT_GT(stats.evictions, 0u);
+
+  // No pins outstanding: one more put must re-enforce the capacity bound on
+  // its shard, and the store stays fully functional.
+  store.Put({"ctx-0", 0, 0}, Blob(128, 7));
+  ASSERT_TRUE(store.Get({"ctx-0", 0, 0}).has_value());
+  EXPECT_EQ(store.Get({"ctx-0", 0, 0})->size(), 128u);
+}
+
+}  // namespace
+}  // namespace cachegen

@@ -11,12 +11,23 @@ template <typename T>
 class KVStoreTest : public ::testing::Test {
  protected:
   KVStoreTest() { store_ = MakeStore(); }
+  ~KVStoreTest() override {
+    store_.reset();
+    if (!tmp_.empty()) std::filesystem::remove_all(tmp_);
+  }
 
   std::unique_ptr<KVStore> MakeStore();
 
   std::unique_ptr<KVStore> store_;
   std::filesystem::path tmp_;
 };
+
+// Monotone counter so every fixture instance gets a fresh directory ("this"
+// pointers get reused across tests within one process).
+int NextStoreDirId() {
+  static int id = 0;
+  return id++;
+}
 
 template <>
 std::unique_ptr<KVStore> KVStoreTest<MemoryKVStore>::MakeStore() {
@@ -27,7 +38,8 @@ template <>
 std::unique_ptr<KVStore> KVStoreTest<FileKVStore>::MakeStore() {
   tmp_ = std::filesystem::temp_directory_path() /
          ("cachegen_store_test_" + std::to_string(::getpid()) + "_" +
-          std::to_string(reinterpret_cast<uintptr_t>(this)));
+          std::to_string(NextStoreDirId()));
+  std::filesystem::remove_all(tmp_);
   return std::make_unique<FileKVStore>(tmp_);
 }
 
@@ -88,6 +100,55 @@ TYPED_TEST(KVStoreTest, EraseOnlyTargetContext) {
   this->store_->EraseContext("a");
   EXPECT_FALSE(this->store_->ContainsContext("a"));
   EXPECT_TRUE(this->store_->ContainsContext("b"));
+}
+
+TEST(SanitizeContextId, SafeIdsPassThrough) {
+  EXPECT_EQ(SanitizeContextId("doc-42_v1.kv"), "doc-42_v1.kv");
+  EXPECT_EQ(SanitizeContextId("A"), "A");
+}
+
+TEST(SanitizeContextId, UnsafeIdsAreMangledButDistinct) {
+  const std::string a = SanitizeContextId("../escape");
+  const std::string b = SanitizeContextId("..\\escape");
+  const std::string c = SanitizeContextId("a/b");
+  EXPECT_EQ(a.find('/'), std::string::npos);
+  EXPECT_EQ(b.find('\\'), std::string::npos);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(SanitizeContextId(".."), "..");
+  EXPECT_NE(SanitizeContextId("."), ".");
+  EXPECT_FALSE(SanitizeContextId("").empty());
+  // Deterministic: same id always maps to the same directory.
+  EXPECT_EQ(a, SanitizeContextId("../escape"));
+  // A safe-charset id crafted to look like a mangled name cannot collide
+  // with the actual mangled output ('%' never passes through).
+  const std::string forged = SanitizeContextId("a/b");
+  std::string lookalike = forged;
+  for (char& ch : lookalike) {
+    if (ch == '%') ch = '-';
+  }
+  EXPECT_EQ(SanitizeContextId(lookalike), lookalike);  // safe -> pass-through
+  EXPECT_NE(SanitizeContextId(lookalike), forged);
+}
+
+TEST(FileKVStore, TraversalIdsCannotEscapeRoot) {
+  const auto root = std::filesystem::temp_directory_path() / "cachegen_traversal_test";
+  std::filesystem::remove_all(root);
+  const auto sibling = std::filesystem::temp_directory_path() / "cachegen_traversal_victim";
+  std::filesystem::remove_all(sibling);
+  {
+    FileKVStore store(root);
+    const std::string evil = "../cachegen_traversal_victim";
+    store.Put({evil, 0, 0}, std::vector<uint8_t>{7, 7, 7});
+    EXPECT_FALSE(std::filesystem::exists(sibling));
+    // Still a fully functional id: round-trips, is listed, and erases.
+    ASSERT_TRUE(store.Get({evil, 0, 0}).has_value());
+    EXPECT_TRUE(store.ContainsContext(evil));
+    EXPECT_EQ(store.ContextBytes(evil), 3u);
+    store.EraseContext(evil);
+    EXPECT_FALSE(store.ContainsContext(evil));
+  }
+  std::filesystem::remove_all(root);
 }
 
 TEST(FileKVStore, PersistsAcrossInstances) {
