@@ -68,6 +68,41 @@ uint32_t FreqTable::Lookup(uint32_t target) const {
   return static_cast<uint32_t>(it - cum_.begin()) - 1;
 }
 
+const uint16_t* FreqTable::LookupTable() const {
+  LookupCache& cache = *lookup_;
+  std::call_once(cache.direct_once, [this, &cache] {
+    if (freq_.empty()) {
+      throw std::logic_error("FreqTable::LookupTable: empty table");
+    }
+    // Each symbol owns the contiguous target range [cum_[s], cum_[s+1]);
+    // filling by range is one sequential pass over the kTotal entries.
+    cache.direct.resize(kTotal);
+    for (uint32_t s = 0; s < freq_.size(); ++s) {
+      std::fill(cache.direct.begin() + cum_[s], cache.direct.begin() + cum_[s + 1],
+                static_cast<uint16_t>(s));
+    }
+  });
+  return cache.direct.data();
+}
+
+const uint16_t* FreqTable::BucketIndex() const {
+  LookupCache& cache = *lookup_;
+  std::call_once(cache.bucket_once, [this, &cache] {
+    if (freq_.empty()) {
+      throw std::logic_error("FreqTable::BucketIndex: empty table");
+    }
+    cache.bucket.resize(kBuckets);
+    uint32_t s = 0;
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+      // First symbol whose interval covers the bucket's first target.
+      const uint32_t start = b << (kTotalBits - kBucketBits);
+      while (cum_[s + 1] <= start) ++s;
+      cache.bucket[b] = static_cast<uint16_t>(s);
+    }
+  });
+  return cache.bucket.data();
+}
+
 double FreqTable::BitsFor(uint32_t symbol) const {
   const double p = static_cast<double>(freq_[symbol]) / static_cast<double>(kTotal);
   return -std::log2(p);

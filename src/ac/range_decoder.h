@@ -1,8 +1,21 @@
 // Decoder matching RangeEncoder: consumes the byte stream and, given the
 // same sequence of FreqTables used at encode time, reproduces the symbol
 // stream exactly.
+//
+// Two interfaces share one decoder state: per-symbol Decode (binary-search
+// Lookup, no auxiliary memory), and the batch DecodeRun fast paths that
+// pull input bytes with a raw pointer bump and keep code/range in registers
+// across the run. Symbol resolution differs by overload: the single-table
+// run uses FreqTable::DirectLookup (one load from the 2^16 array — optimal
+// when one table stays hot), while the multi-table run uses the compact
+// BucketIndex (direct arrays thrash the cache when thousands of
+// per-channel-layer tables are live). All paths consume identical bytes for
+// identical table sequences and may be mixed freely on one decoder.
+// Truncated input surfaces as std::out_of_range, never as silently-wrong
+// symbols.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "ac/freq_table.h"
@@ -12,15 +25,25 @@ namespace cachegen {
 
 class RangeDecoder {
  public:
-  // Begins decoding immediately: primes the 32-bit code window from `in`.
+  // Begins decoding immediately: primes the 32-bit code window with a bulk
+  // 5-byte read. Throws std::out_of_range if fewer than 5 bytes remain (no
+  // complete range-coded stream is shorter).
   explicit RangeDecoder(BitReader& in);
 
   // Decode the next symbol under `table`. The table sequence must match the
   // encoder's call-for-call.
   uint32_t Decode(const FreqTable& table);
 
+  // Batch fast path: decode out[i] under *tables[i] for i in [0, n).
+  // Equivalent to n Decode calls.
+  void DecodeRun(const FreqTable* const* tables, uint32_t* out, size_t n);
+
+  // Batch fast path with a single model for the whole run.
+  void DecodeRun(const FreqTable& table, uint32_t* out, size_t n);
+
  private:
   void Normalize();
+  [[noreturn]] static void ThrowTruncated(size_t offset);
 
   BitReader& in_;
   uint32_t range_ = 0xFFFFFFFFu;

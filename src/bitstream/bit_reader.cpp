@@ -1,15 +1,27 @@
 #include "bitstream/bit_reader.h"
 
-#include <stdexcept>
+#include <string>
 
 namespace cachegen {
 
-uint8_t BitReader::GetByte() {
-  if (bit_pos_ != 0) {
-    throw std::logic_error("BitReader::GetByte: not byte-aligned");
+void BitReader::ThrowPastEnd(size_t wanted) const {
+  throw std::out_of_range("BitReader: read of " + std::to_string(wanted) +
+                          " byte(s) past end at offset " +
+                          std::to_string(byte_pos_) + " (buffer is " +
+                          std::to_string(bytes_.size()) + " bytes)");
+}
+
+uint64_t BitReader::GetBytesBE(int n) {
+  if (n < 0 || n > 8) {
+    throw std::invalid_argument("BitReader::GetBytesBE: n out of range");
   }
-  if (byte_pos_ >= bytes_.size()) return 0;
-  return bytes_[byte_pos_++];
+  if (bit_pos_ != 0) {
+    throw std::logic_error("BitReader::GetBytesBE: not byte-aligned");
+  }
+  if (RemainingBytes() < static_cast<size_t>(n)) ThrowPastEnd(n);
+  uint64_t out = 0;
+  for (int i = 0; i < n; ++i) out = (out << 8) | bytes_[byte_pos_++];
+  return out;
 }
 
 uint64_t BitReader::GetBits(int nbits) {
@@ -36,6 +48,18 @@ void BitReader::AlignToByte() {
     bit_pos_ = 0;
     ++byte_pos_;
   }
+}
+
+void BitReader::SeekBytes(size_t byte_pos) {
+  if (bit_pos_ != 0) {
+    throw std::logic_error("BitReader::SeekBytes: not byte-aligned");
+  }
+  if (byte_pos > bytes_.size()) {
+    throw std::out_of_range("BitReader::SeekBytes: position " +
+                            std::to_string(byte_pos) + " beyond buffer of " +
+                            std::to_string(bytes_.size()) + " bytes");
+  }
+  byte_pos_ = byte_pos;
 }
 
 }  // namespace cachegen

@@ -1,7 +1,5 @@
 #include "bitstream/bit_writer.h"
 
-#include <stdexcept>
-
 namespace cachegen {
 
 void BitWriter::PutBits(uint64_t value, int nbits) {
@@ -26,6 +24,13 @@ void BitWriter::AlignToByte() {
     partial_ = 0;
     bit_pos_ = 0;
   }
+}
+
+void BitWriter::Append(std::span<const uint8_t> bytes) {
+  if (bit_pos_ != 0) {
+    throw std::logic_error("BitWriter::Append: not byte-aligned");
+  }
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
 }
 
 std::vector<uint8_t> BitWriter::TakeBytes() {

@@ -1,9 +1,14 @@
 // Byte-oriented output buffer with bit-level packing, the sink for both the
-// range coder and the container format's fixed-width fields.
+// range coder and the container format's fixed-width fields. Bytes accumulate
+// in one contiguous vector with amortized growth; batch producers
+// (RangeEncoder::EncodeRun) append straight into the backing buffer through
+// AppendSink instead of paying a call per byte.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace cachegen {
@@ -18,6 +23,21 @@ class BitWriter {
 
   // Pad with zero bits to the next byte boundary.
   void AlignToByte();
+
+  // Grow capacity ahead of a burst of appends (amortized contiguous growth).
+  void Reserve(size_t bytes) { bytes_.reserve(bytes_.size() + bytes); }
+
+  // Bulk append of whole bytes; requires byte alignment.
+  void Append(std::span<const uint8_t> bytes);
+
+  // Byte-aligned direct access to the backing buffer, for batch producers
+  // that push many bytes in a tight loop. Throws if bits are pending.
+  std::vector<uint8_t>& AppendSink() {
+    if (bit_pos_ != 0) {
+      throw std::logic_error("BitWriter::AppendSink: not byte-aligned");
+    }
+    return bytes_;
+  }
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> TakeBytes();

@@ -24,7 +24,11 @@ class KVDecoder {
   KVCache DecodeChunk(const EncodedChunk& chunk, unsigned threads = 0) const;
 
  private:
-  void DecodeGroup(const EncodedChunk& chunk, size_t group, KVCache& out) const;
+  // Decodes `lanes` consecutive groups [g0, g0+lanes) of `rows` tokens each
+  // in lockstep — see ac/lane_decoder.h. Corrupt streams yield contained
+  // garbage in their own lane only.
+  void DecodeGroupBatch(const EncodedChunk& chunk, size_t g0, size_t lanes,
+                        size_t rows, KVCache& out) const;
 
   std::shared_ptr<const KVProfile> profile_;
   std::shared_ptr<const TableSet> tables_;

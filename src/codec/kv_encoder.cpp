@@ -7,6 +7,7 @@
 #include "ac/range_encoder.h"
 #include "bitstream/bit_writer.h"
 #include "common/parallel_for.h"
+#include "quant/symbol_kernels.h"
 
 namespace cachegen {
 
@@ -60,22 +61,32 @@ void KVEncoder::EncodeGroup(const KVCache& chunk, size_t group,
   const size_t C = chunk.num_channels();
 
   BitWriter writer;
+  // ~2 bits/symbol at the default level; reserve once to avoid regrowth.
+  writer.Reserve(chunk.num_layers() * (t1 - t0) * C / 2 + 64);
   RangeEncoder enc(writer);
+
+  // Per-(layer, kind) flat views of the TableSet so the batch kernels and
+  // EncodeRun walk raw arrays instead of re-resolving accessors per element.
   std::vector<double> ref(C);  // reconstructed reference row
+  std::vector<double> offset(C), sigma(C), scale(C);
+  std::vector<uint32_t> syms(C);
+  std::vector<const FreqTable*> body(C), anchor(C);
 
   for (size_t l = 0; l < chunk.num_layers(); ++l) {
     const double bin = tables_->BinFor(l);
     for (int kind = 0; kind < 2; ++kind) {
       const Tensor& t = kind == 0 ? chunk.layer(l).k : chunk.layer(l).v;
+      for (size_t c = 0; c < C; ++c) {
+        sigma[c] = tables_->BodySigma(l, c, kind);
+        body[c] = &tables_->Body(l, c, kind);
+      }
       if (!opt.delta_encoding) {
         // Ablation mode: every value coded as binned normalized raw value.
+        for (size_t c = 0; c < C; ++c) offset[c] = tables_->BodyMean(l, c, kind);
         for (size_t r = t0; r < t1; ++r) {
-          for (size_t c = 0; c < C; ++c) {
-            const double mean = tables_->BodyMean(l, c, kind);
-            const double sigma = tables_->BodySigma(l, c, kind);
-            enc.Encode(tables_->Body(l, c, kind),
-                       DeltaSymbol((t.At(r, c) - mean) / sigma, bin));
-          }
+          QuantizeRow(t.Row(r).data(), offset.data(), sigma.data(), bin,
+                      KVProfile::kDeltaMaxSym, C, syms.data());
+          enc.EncodeRun(body.data(), syms.data(), C);
         }
         continue;
       }
@@ -83,23 +94,20 @@ void KVEncoder::EncodeGroup(const KVCache& chunk, size_t group,
       // decoder reconstructs the same `ref`, so deltas are computed against
       // the *reconstructed* anchor and quantization error cannot compound.
       for (size_t c = 0; c < C; ++c) {
-        const double scale = tables_->AnchorScaleEff(l, c, kind);
-        const uint32_t sym = AnchorSymbol(t.At(t0, c), scale);
-        enc.Encode(tables_->Anchor(l, c, kind), sym);
-        ref[c] = (static_cast<double>(sym) - KVProfile::kAnchorMaxSym) * scale;
+        scale[c] = tables_->AnchorScaleEff(l, c, kind);
+        anchor[c] = &tables_->Anchor(l, c, kind);
       }
+      QuantizeAnchorRow(t.Row(t0).data(), scale.data(), KVProfile::kAnchorMaxSym,
+                        C, syms.data(), ref.data());
+      enc.EncodeRun(anchor.data(), syms.data(), C);
       for (size_t r = t0 + 1; r < t1; ++r) {
-        for (size_t c = 0; c < C; ++c) {
-          const double sigma = tables_->BodySigma(l, c, kind);
-          const double delta = t.At(r, c) - ref[c];
-          const uint32_t sym = DeltaSymbol(delta / sigma, bin);
-          enc.Encode(tables_->Body(l, c, kind), sym);
-          if (opt.anchor_mode == AnchorMode::kConsecutive) {
-            // Reference tracks the reconstructed previous token.
-            ref[c] += (static_cast<double>(sym) -
-                       static_cast<double>(KVProfile::kDeltaMaxSym)) *
-                      bin * sigma;
-          }
+        QuantizeRow(t.Row(r).data(), ref.data(), sigma.data(), bin,
+                    KVProfile::kDeltaMaxSym, C, syms.data());
+        enc.EncodeRun(body.data(), syms.data(), C);
+        if (opt.anchor_mode == AnchorMode::kConsecutive) {
+          // Reference tracks the reconstructed previous token.
+          AdvanceRefRow(syms.data(), sigma.data(), bin, KVProfile::kDeltaMaxSym,
+                        C, ref.data());
         }
       }
     }

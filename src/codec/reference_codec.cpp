@@ -1,0 +1,163 @@
+#include "codec/reference_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ac/range_decoder.h"
+#include "ac/range_encoder.h"
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "codec/delta.h"
+
+namespace cachegen::reference {
+
+namespace {
+
+// The seed's scalar clamp-and-shift helpers, verbatim.
+inline uint32_t DeltaSymbol(double normalized, double bin) {
+  const long s = std::lround(normalized / bin);
+  const long clamped = std::clamp(s, -static_cast<long>(KVProfile::kDeltaMaxSym),
+                                  static_cast<long>(KVProfile::kDeltaMaxSym));
+  return static_cast<uint32_t>(clamped + KVProfile::kDeltaMaxSym);
+}
+
+inline uint32_t AnchorSymbol(double value, double scale) {
+  const long s = std::lround(value / scale);
+  const long clamped = std::clamp(s, -static_cast<long>(KVProfile::kAnchorMaxSym),
+                                  static_cast<long>(KVProfile::kAnchorMaxSym));
+  return static_cast<uint32_t>(clamped + KVProfile::kAnchorMaxSym);
+}
+
+}  // namespace
+
+void EncodeGroup(const TableSet& tables, const KVCache& chunk, size_t group,
+                 std::vector<uint8_t>& out) {
+  const CodecOptions& opt = tables.options();
+  const size_t G = opt.token_group_size;
+  const size_t t0 = group * G;
+  const size_t t1 = std::min(t0 + G, chunk.num_tokens());
+  const size_t C = chunk.num_channels();
+
+  BitWriter writer;
+  RangeEncoder enc(writer);
+  std::vector<double> ref(C);
+
+  for (size_t l = 0; l < chunk.num_layers(); ++l) {
+    const double bin = tables.BinFor(l);
+    for (int kind = 0; kind < 2; ++kind) {
+      const Tensor& t = kind == 0 ? chunk.layer(l).k : chunk.layer(l).v;
+      if (!opt.delta_encoding) {
+        for (size_t r = t0; r < t1; ++r) {
+          for (size_t c = 0; c < C; ++c) {
+            const double mean = tables.BodyMean(l, c, kind);
+            const double sigma = tables.BodySigma(l, c, kind);
+            enc.Encode(tables.Body(l, c, kind),
+                       DeltaSymbol((t.At(r, c) - mean) / sigma, bin));
+          }
+        }
+        continue;
+      }
+      for (size_t c = 0; c < C; ++c) {
+        const double scale = tables.AnchorScaleEff(l, c, kind);
+        const uint32_t sym = AnchorSymbol(t.At(t0, c), scale);
+        enc.Encode(tables.Anchor(l, c, kind), sym);
+        ref[c] = (static_cast<double>(sym) - KVProfile::kAnchorMaxSym) * scale;
+      }
+      for (size_t r = t0 + 1; r < t1; ++r) {
+        for (size_t c = 0; c < C; ++c) {
+          const double sigma = tables.BodySigma(l, c, kind);
+          const double delta = t.At(r, c) - ref[c];
+          const uint32_t sym = DeltaSymbol(delta / sigma, bin);
+          enc.Encode(tables.Body(l, c, kind), sym);
+          if (opt.anchor_mode == AnchorMode::kConsecutive) {
+            ref[c] += (static_cast<double>(sym) -
+                       static_cast<double>(KVProfile::kDeltaMaxSym)) *
+                      bin * sigma;
+          }
+        }
+      }
+    }
+  }
+  enc.Finish();
+  out = writer.TakeBytes();
+}
+
+EncodedChunk EncodeChunk(const TableSet& tables, const KVCache& chunk,
+                         uint32_t chunk_index, uint64_t token_begin) {
+  EncodedChunk out;
+  out.chunk_index = chunk_index;
+  out.token_begin = token_begin;
+  out.num_tokens = static_cast<uint32_t>(chunk.num_tokens());
+  out.num_layers = static_cast<uint32_t>(chunk.num_layers());
+  out.num_channels = static_cast<uint32_t>(chunk.num_channels());
+  out.level_id = tables.level().id;
+  out.option_flags = tables.options().Flags();
+  out.group_size = static_cast<uint16_t>(tables.options().token_group_size);
+  const size_t groups =
+      NumTokenGroups(chunk.num_tokens(), tables.options().token_group_size);
+  out.streams.resize(groups);
+  for (size_t g = 0; g < groups; ++g) EncodeGroup(tables, chunk, g, out.streams[g]);
+  return out;
+}
+
+void DecodeGroup(const TableSet& tables, const EncodedChunk& chunk,
+                 size_t group, KVCache& out) {
+  const CodecOptions& opt = tables.options();
+  const size_t G = opt.token_group_size;
+  const size_t t0 = group * G;
+  const size_t t1 = std::min(t0 + G, static_cast<size_t>(chunk.num_tokens));
+  const size_t C = chunk.num_channels;
+
+  BitReader reader(chunk.streams[group]);
+  RangeDecoder dec(reader);
+  std::vector<double> ref(C);
+
+  for (size_t l = 0; l < chunk.num_layers; ++l) {
+    const double bin = tables.BinFor(l);
+    for (int kind = 0; kind < 2; ++kind) {
+      Tensor& t = kind == 0 ? out.layer(l).k : out.layer(l).v;
+      if (!opt.delta_encoding) {
+        for (size_t r = t0; r < t1; ++r) {
+          for (size_t c = 0; c < C; ++c) {
+            const double mean = tables.BodyMean(l, c, kind);
+            const double sigma = tables.BodySigma(l, c, kind);
+            const uint32_t sym = dec.Decode(tables.Body(l, c, kind));
+            const double sn = static_cast<double>(sym) - KVProfile::kDeltaMaxSym;
+            t.At(r, c) = static_cast<float>(mean + sn * bin * sigma);
+          }
+        }
+        continue;
+      }
+      for (size_t c = 0; c < C; ++c) {
+        const double scale = tables.AnchorScaleEff(l, c, kind);
+        const uint32_t sym = dec.Decode(tables.Anchor(l, c, kind));
+        ref[c] = (static_cast<double>(sym) - KVProfile::kAnchorMaxSym) * scale;
+        t.At(t0, c) = static_cast<float>(ref[c]);
+      }
+      for (size_t r = t0 + 1; r < t1; ++r) {
+        for (size_t c = 0; c < C; ++c) {
+          const double sigma = tables.BodySigma(l, c, kind);
+          const uint32_t sym = dec.Decode(tables.Body(l, c, kind));
+          const double sn = static_cast<double>(sym) - KVProfile::kDeltaMaxSym;
+          const double value = ref[c] + sn * bin * sigma;
+          t.At(r, c) = static_cast<float>(value);
+          if (opt.anchor_mode == AnchorMode::kConsecutive) ref[c] = value;
+        }
+      }
+    }
+  }
+}
+
+KVCache DecodeChunk(const TableSet& tables, const EncodedChunk& chunk) {
+  if (chunk.option_flags != tables.options().Flags()) {
+    throw std::invalid_argument("reference::DecodeChunk: codec options mismatch");
+  }
+  KVCache out(chunk.num_layers, chunk.num_tokens, chunk.num_channels);
+  for (size_t g = 0; g < chunk.streams.size(); ++g) {
+    DecodeGroup(tables, chunk, g, out);
+  }
+  return out;
+}
+
+}  // namespace cachegen::reference

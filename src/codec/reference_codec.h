@@ -1,0 +1,41 @@
+// Frozen scalar reference implementation of the KV codec hot path — the
+// seed's per-element encode/decode loops, kept verbatim (per-symbol
+// RangeEncoder::Encode with std::lround mapping; per-symbol
+// RangeDecoder::Decode via FreqTable::Lookup binary search).
+//
+// Two jobs:
+//   1. the golden-bitstream test proves the batch fast path in
+//      KVEncoder/KVDecoder emits byte-identical streams and bit-identical
+//      reconstructions against this reference;
+//   2. bench_codec_throughput measures the fast path's speedup against the
+//      true pre-overhaul coder on the same machine.
+// Not used by production paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "codec/kv_encoder.h"
+#include "codec/profile.h"
+#include "tensor/kv_cache.h"
+
+namespace cachegen::reference {
+
+// Encode one token group exactly as the seed encoder did.
+void EncodeGroup(const TableSet& tables, const KVCache& chunk, size_t group,
+                 std::vector<uint8_t>& out);
+
+// Full-chunk reference encode (serial over groups), header fields filled
+// like KVEncoder::EncodeChunk.
+EncodedChunk EncodeChunk(const TableSet& tables, const KVCache& chunk,
+                         uint32_t chunk_index = 0, uint64_t token_begin = 0);
+
+// Decode one token group exactly as the seed decoder did.
+void DecodeGroup(const TableSet& tables, const EncodedChunk& chunk,
+                 size_t group, KVCache& out);
+
+// Full-chunk reference decode (serial over groups).
+KVCache DecodeChunk(const TableSet& tables, const EncodedChunk& chunk);
+
+}  // namespace cachegen::reference

@@ -1,54 +1,26 @@
-// Minimal parallel-for over an index range.
+// Parallel-for over an index range.
 //
 // The codec parallelizes across independent token-group bitstreams (the CPU
-// analogue of the paper's one-CUDA-thread-per-token decode kernels, §6), so
-// a simple static work-stealing loop is all that's needed.
+// analogue of the paper's one-CUDA-thread-per-token decode kernels, §6).
+// Work is executed on the persistent process-wide ThreadPool — see
+// common/thread_pool.h for scheduling, nesting-guard, and sizing details.
+// API-compatible with the seed's spawn-per-call implementation.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace cachegen {
 
-// Invoke fn(i) for every i in [0, n), using up to `threads` workers
-// (defaults to hardware concurrency). Exceptions from workers are rethrown
-// on the calling thread (first one wins).
+// Invoke fn(i) for every i in [0, n), using up to `threads` concurrent
+// executors (0 = pool default, i.e. hardware concurrency). Exceptions from
+// workers are rethrown on the calling thread (first one wins); after a
+// failure, not-yet-started indices are skipped.
 inline void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                         unsigned threads = 0) {
-  if (n == 0) return;
-  unsigned hw = threads ? threads : std::thread::hardware_concurrency();
-  if (hw == 0) hw = 4;
-  if (hw > n) hw = static_cast<unsigned>(n);
-  if (hw <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::vector<std::thread> pool;
-  pool.reserve(hw);
-  for (unsigned w = 0; w < hw; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n || failed.load(std::memory_order_relaxed)) return;
-        try {
-          fn(i);
-        } catch (...) {
-          if (!failed.exchange(true)) error = std::current_exception();
-          return;
-        }
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  ThreadPool::Instance().Run(n, fn, threads);
 }
 
 }  // namespace cachegen

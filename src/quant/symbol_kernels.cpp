@@ -1,0 +1,86 @@
+#include "quant/symbol_kernels.h"
+
+namespace cachegen {
+
+namespace {
+
+// Round-half-away-from-zero on a pre-saturated quotient, then clamp to
+// ±max_sym and shift to the unsigned symbol. trunc-via-int32 plus an exact
+// fractional compare reproduces std::lround bit-for-bit (q - trunc(q) is
+// exact by Sterbenz) while staying branch-free and vectorizable.
+inline uint32_t RoundClampShift(double q, double bound, int32_t max_s) {
+  q = q > bound ? bound : q;
+  q = q < -bound ? -bound : q;
+  int32_t s = static_cast<int32_t>(q);  // truncation toward zero
+  const double frac = q - static_cast<double>(s);
+  s += frac >= 0.5 ? 1 : 0;
+  s -= frac <= -0.5 ? 1 : 0;
+  s = s > max_s ? max_s : s;
+  s = s < -max_s ? -max_s : s;
+  return static_cast<uint32_t>(s + max_s);
+}
+
+}  // namespace
+
+void QuantizeRow(const float* x, const double* offset, const double* sigma,
+                 double bin, uint32_t max_sym, size_t n, uint32_t* symbols) {
+  const double bound = static_cast<double>(max_sym) + 1.0;
+  const int32_t max_s = static_cast<int32_t>(max_sym);
+  for (size_t i = 0; i < n; ++i) {
+    // Same two-division sequence as the scalar path: normalize, then bin.
+    double q = (static_cast<double>(x[i]) - offset[i]) / sigma[i];
+    q /= bin;
+    symbols[i] = RoundClampShift(q, bound, max_s);
+  }
+}
+
+void QuantizeAnchorRow(const float* x, const double* scale, uint32_t max_sym,
+                       size_t n, uint32_t* symbols, double* ref) {
+  const double bound = static_cast<double>(max_sym) + 1.0;
+  const int32_t max_s = static_cast<int32_t>(max_sym);
+  const double max_d = static_cast<double>(max_sym);
+  for (size_t i = 0; i < n; ++i) {
+    const double q = static_cast<double>(x[i]) / scale[i];
+    const uint32_t sym = RoundClampShift(q, bound, max_s);
+    symbols[i] = sym;
+    ref[i] = (static_cast<double>(sym) - max_d) * scale[i];
+  }
+}
+
+void ReconstructRow(const uint32_t* symbols, const double* sigma, double bin,
+                    uint32_t max_sym, bool advance_ref, size_t n, double* ref,
+                    float* out) {
+  const double max_d = static_cast<double>(max_sym);
+  if (advance_ref) {
+    for (size_t i = 0; i < n; ++i) {
+      const double sn = static_cast<double>(symbols[i]) - max_d;
+      const double value = ref[i] + sn * bin * sigma[i];
+      out[i] = static_cast<float>(value);
+      ref[i] = value;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const double sn = static_cast<double>(symbols[i]) - max_d;
+      out[i] = static_cast<float>(ref[i] + sn * bin * sigma[i]);
+    }
+  }
+}
+
+void ReconstructAnchorRow(const uint32_t* symbols, const double* scale,
+                          uint32_t max_sym, size_t n, double* ref, float* out) {
+  const double max_d = static_cast<double>(max_sym);
+  for (size_t i = 0; i < n; ++i) {
+    ref[i] = (static_cast<double>(symbols[i]) - max_d) * scale[i];
+    out[i] = static_cast<float>(ref[i]);
+  }
+}
+
+void AdvanceRefRow(const uint32_t* symbols, const double* sigma, double bin,
+                   uint32_t max_sym, size_t n, double* ref) {
+  const double max_d = static_cast<double>(max_sym);
+  for (size_t i = 0; i < n; ++i) {
+    ref[i] += (static_cast<double>(symbols[i]) - max_d) * bin * sigma[i];
+  }
+}
+
+}  // namespace cachegen

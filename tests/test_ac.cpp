@@ -75,6 +75,37 @@ TEST(FreqTable, RejectsEmptyAndOversizedAlphabets) {
   EXPECT_THROW(FreqTable::FromCounts(too_big), std::invalid_argument);
 }
 
+TEST(FreqTable, DirectAndBucketLookupMatchLookupExhaustively) {
+  // Property: for randomized tables, the O(1) direct array and the compact
+  // bucket index agree with the binary search on every one of the 2^16
+  // possible targets.
+  Rng rng(42);
+  const std::vector<uint32_t> sizes = {2, 3, 16, 129, 255, 1000};
+  for (uint32_t n : sizes) {
+    std::vector<uint64_t> counts(n);
+    for (auto& c : counts) {
+      // Mix of zeros, small and heavy counts to vary interval widths.
+      const double u = rng.NextDouble();
+      c = u < 0.3 ? 0 : (u < 0.9 ? rng.NextBelow(50) : rng.NextBelow(100000));
+    }
+    const FreqTable t = FreqTable::FromCounts(counts);
+    for (uint32_t target = 0; target < FreqTable::kTotal; ++target) {
+      const uint32_t expect = t.Lookup(target);
+      ASSERT_EQ(t.DirectLookup(target), expect) << "n=" << n << " target=" << target;
+      ASSERT_EQ(t.BucketLookup(target), expect) << "n=" << n << " target=" << target;
+    }
+  }
+}
+
+TEST(FreqTable, LookupTableEdges) {
+  const FreqTable t = FreqTable::FromCounts(std::vector<uint64_t>{1, 1000000, 1});
+  EXPECT_EQ(t.DirectLookup(0), t.Lookup(0));
+  EXPECT_EQ(t.DirectLookup(FreqTable::kTotal - 1), t.Lookup(FreqTable::kTotal - 1));
+  EXPECT_EQ(t.DirectLookup(FreqTable::kTotal - 1), 2u);
+  EXPECT_THROW(FreqTable().LookupTable(), std::logic_error);
+  EXPECT_THROW(FreqTable().BucketIndex(), std::logic_error);
+}
+
 std::vector<uint32_t> RoundTrip(const FreqTable& table,
                                 const std::vector<uint32_t>& symbols) {
   BitWriter w;
@@ -168,6 +199,118 @@ TEST(RangeCoder, MixedTablesRoundTrip) {
   for (int i = 0; i < 10000; ++i) {
     const FreqTable& t = (i % 2) ? a : b;
     EXPECT_EQ(dec.Decode(t), syms[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(RangeCoder, RunApisMatchPerSymbolBitstream) {
+  // EncodeRun/DecodeRun must emit and consume the exact bytes of the
+  // per-symbol Encode/Decode calls, including with per-symbol table switches
+  // and when mixed with scalar calls on the same coder.
+  const FreqTable a = FreqTable::Uniform(4);
+  const FreqTable b = FreqTable::FromCounts(std::vector<uint64_t>{900, 5, 5, 1, 1, 88});
+  Rng rng(11);
+  const size_t n = 20000;
+  std::vector<uint32_t> syms(n);
+  std::vector<const FreqTable*> tables(n);
+  for (size_t i = 0; i < n; ++i) {
+    tables[i] = (i % 3) ? &a : &b;
+    syms[i] = static_cast<uint32_t>(rng.NextBelow(tables[i]->alphabet_size()));
+  }
+
+  BitWriter w_scalar;
+  {
+    RangeEncoder enc(w_scalar);
+    for (size_t i = 0; i < n; ++i) enc.Encode(*tables[i], syms[i]);
+    enc.Finish();
+  }
+  BitWriter w_run;
+  {
+    RangeEncoder enc(w_run);
+    enc.EncodeRun(tables.data(), syms.data(), n / 2);           // batch
+    for (size_t i = n / 2; i < n / 2 + 100; ++i) enc.Encode(*tables[i], syms[i]);
+    enc.EncodeRun(tables.data() + n / 2 + 100, syms.data() + n / 2 + 100,
+                  n - n / 2 - 100);
+    enc.Finish();
+  }
+  EXPECT_EQ(w_scalar.bytes(), w_run.bytes());
+
+  // Decode the stream back with a mix of scalar and run calls.
+  BitReader r(w_scalar.bytes());
+  RangeDecoder dec(r);
+  std::vector<uint32_t> out(n);
+  dec.DecodeRun(tables.data(), out.data(), 1000);
+  for (size_t i = 1000; i < 1300; ++i) out[i] = dec.Decode(*tables[i]);
+  dec.DecodeRun(tables.data() + 1300, out.data() + 1300, n - 1300);
+  EXPECT_EQ(out, syms);
+}
+
+TEST(RangeCoder, SingleTableRunRoundTrip) {
+  const FreqTable t = FreqTable::FromCounts(std::vector<uint64_t>{500000, 30000, 200, 7, 1});
+  Rng rng(12);
+  const size_t n = 50000;
+  std::vector<uint32_t> syms(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.NextDouble();
+    syms[i] = u < 0.9 ? 0u : (u < 0.99 ? 1u : static_cast<uint32_t>(2 + rng.NextBelow(3)));
+  }
+  BitWriter w;
+  RangeEncoder enc(w);
+  enc.EncodeRun(t, syms.data(), n);
+  enc.Finish();
+  BitReader r(w.bytes());
+  RangeDecoder dec(r);
+  std::vector<uint32_t> out(n);
+  dec.DecodeRun(t, out.data(), n);
+  EXPECT_EQ(out, syms);
+}
+
+TEST(RangeCoder, EncodeRunRejectsBadSymbol) {
+  BitWriter w;
+  RangeEncoder enc(w);
+  const FreqTable t = FreqTable::Uniform(4);
+  const std::vector<uint32_t> syms = {1, 2, 4};  // 4 is out of alphabet
+  EXPECT_THROW(enc.EncodeRun(t, syms.data(), syms.size()), std::out_of_range);
+}
+
+TEST(RangeDecoder, TruncatedPrimeThrows) {
+  const std::vector<uint8_t> bytes = {1, 2, 3};  // < 5-byte prime
+  BitReader r(bytes);
+  try {
+    RangeDecoder dec(r);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("5 bytes"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RangeDecoder, TruncatedStreamThrowsMidDecode) {
+  // Chop a valid stream in half: decoding must surface std::out_of_range
+  // instead of fabricating symbols, on both the scalar and the run path.
+  const FreqTable t = FreqTable::Uniform(256);
+  Rng rng(13);
+  const size_t n = 10000;
+  std::vector<uint32_t> syms(n);
+  for (auto& s : syms) s = static_cast<uint32_t>(rng.NextBelow(256));
+  BitWriter w;
+  RangeEncoder enc(w);
+  enc.EncodeRun(t, syms.data(), n);
+  enc.Finish();
+  std::vector<uint8_t> half(w.bytes().begin(),
+                            w.bytes().begin() + static_cast<long>(w.bytes().size() / 2));
+
+  {
+    BitReader r(half);
+    RangeDecoder dec(r);
+    std::vector<uint32_t> out(n);
+    EXPECT_THROW(dec.DecodeRun(t, out.data(), n), std::out_of_range);
+  }
+  {
+    BitReader r(half);
+    RangeDecoder dec(r);
+    auto decode_all = [&] {
+      for (size_t i = 0; i < n; ++i) (void)dec.Decode(t);
+    };
+    EXPECT_THROW(decode_all(), std::out_of_range);
   }
 }
 

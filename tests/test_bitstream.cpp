@@ -56,12 +56,60 @@ TEST(BitRoundTrip, RandomBitFields) {
   }
 }
 
-TEST(BitReader, PastEndReadsZero) {
+TEST(BitReader, BitsPastEndReadZero) {
   const std::vector<uint8_t> bytes = {0xFF};
   BitReader r(bytes);
   EXPECT_EQ(r.GetBits(8), 0xFFu);
-  EXPECT_EQ(r.GetBits(16), 0u);  // past the end
-  EXPECT_EQ(r.GetByte(), 0u);
+  EXPECT_EQ(r.GetBits(16), 0u);  // past the end: header fields zero-fill
+}
+
+TEST(BitReader, BytePastEndThrowsWithOffset) {
+  const std::vector<uint8_t> bytes = {0xAB};
+  BitReader r(bytes);
+  EXPECT_EQ(r.GetByte(), 0xAB);
+  try {
+    r.GetByte();
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BitReader, GetBytesBEBulkReads) {
+  const std::vector<uint8_t> bytes = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06};
+  BitReader r(bytes);
+  EXPECT_EQ(r.GetBytesBE(5), 0x0102030405ULL);
+  EXPECT_EQ(r.BytePos(), 5u);
+  EXPECT_THROW(r.GetBytesBE(2), std::out_of_range);  // only 1 byte left
+  EXPECT_EQ(r.GetBytesBE(1), 0x06u);
+  EXPECT_THROW(r.GetBytesBE(9), std::invalid_argument);
+}
+
+TEST(BitReader, SeekBytesRepositionsAndBoundsChecks) {
+  const std::vector<uint8_t> bytes = {10, 20, 30};
+  BitReader r(bytes);
+  EXPECT_EQ(r.GetByte(), 10);
+  r.SeekBytes(2);
+  EXPECT_EQ(r.GetByte(), 30);
+  r.SeekBytes(0);
+  EXPECT_EQ(r.GetByte(), 10);
+  EXPECT_THROW(r.SeekBytes(4), std::out_of_range);
+  EXPECT_EQ(r.data(), bytes.data());
+  EXPECT_EQ(r.size(), bytes.size());
+}
+
+TEST(BitWriter, AppendAndSinkShareTheBuffer) {
+  BitWriter w;
+  w.Reserve(16);
+  w.PutByte(1);
+  const std::vector<uint8_t> tail = {2, 3};
+  w.Append(tail);
+  w.AppendSink().push_back(4);
+  EXPECT_EQ(w.bytes(), (std::vector<uint8_t>{1, 2, 3, 4}));
+  w.PutBits(1, 1);  // pending bits: bulk interfaces must refuse
+  EXPECT_THROW(w.Append(tail), std::logic_error);
+  EXPECT_THROW(w.AppendSink(), std::logic_error);
 }
 
 TEST(BitReader, GetByteRequiresAlignment) {

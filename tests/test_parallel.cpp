@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+
+namespace cachegen {
+namespace {
+
+// Force a multi-worker pool even on single-core CI machines so the parallel
+// machinery (not just the serial fallback) is exercised. Must run before the
+// first ParallelFor call creates the pool; no overwrite in case the
+// environment pins a size deliberately.
+const bool kForcePoolSize = [] {
+  setenv("CACHEGEN_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ASSERT_TRUE(kForcePoolSize);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroAndSingleIndex) {
+  int calls = 0;
+  ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, ThreadsOneRunsSerialInOrder) {
+  std::vector<size_t> order;
+  ParallelFor(100, [&](size_t i) { order.push_back(i); }, /*threads=*/1);
+  ASSERT_EQ(order.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(1000,
+                  [&](size_t i) {
+                    if (i == 37) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // Every index throwing must still surface exactly one exception.
+  EXPECT_THROW(
+      ParallelFor(64, [&](size_t) { throw std::invalid_argument("all"); }),
+      std::invalid_argument);
+}
+
+TEST(ParallelFor, CancelsPromptlyAfterFailure) {
+  // Index 0 (claimed first) fails immediately; every other invocation is
+  // slow. Indices claimed after the failure flag is set must be skipped
+  // *before* invoking fn, so the executed count stays bounded by the few
+  // calls already in flight — not the full index range.
+  const size_t n = 1 << 16;
+  std::atomic<size_t> executed{0};
+  EXPECT_THROW(
+      ParallelFor(n,
+                  [&](size_t i) {
+                    if (i == 0) throw std::runtime_error("fail fast");
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                    executed.fetch_add(1);
+                  }),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), size_t{64});
+}
+
+TEST(ParallelFor, NestedCallsRunSeriallyWithoutDeadlock) {
+  std::atomic<size_t> total{0};
+  ParallelFor(8, [&](size_t) {
+    // Inner call from a worker must not deadlock the shared pool; the
+    // nesting guard executes it inline.
+    ParallelFor(100, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ParallelFor, ManyConcurrentCallers) {
+  // Several OS threads submitting jobs at once share the one pool.
+  constexpr int kCallers = 4;
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      ParallelFor(1000, [&](size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4000u);
+}
+
+TEST(ThreadPool, ReportsSizeAndRegionFlag) {
+  ThreadPool& pool = ThreadPool::Instance();
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  // The flag is observable from inside a job when the pool actually runs
+  // parallel; in the serial fallback the guard is not needed, so only check
+  // the parallel case.
+  if (pool.size() > 1) {
+    std::atomic<int> seen{0};
+    ParallelFor(64, [&](size_t) {
+      if (ThreadPool::InParallelRegion()) seen.fetch_add(1);
+    });
+    EXPECT_EQ(seen.load(), 64);
+  }
+}
+
+TEST(ParallelFor, LargeIndexStress) {
+  std::atomic<uint64_t> sum{0};
+  const size_t n = 100000;
+  ParallelFor(n, [&](size_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(), static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace cachegen
