@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run-over-run codec throughput trajectory gate.
+
+Compares the decode throughput of the current BENCH_codec_throughput.json
+against the artifact downloaded from the previous successful CI run on main,
+and fails when any matching (level, tokens, threads) configuration regressed
+by more than --max-regression (default 15%).
+
+The ratio is current/previous on the same metric, so the gate tracks the
+performance *trajectory* across commits instead of a fixed constant — a slow
+burn of small regressions trips it even when each individual commit would
+pass an absolute threshold.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for row in data.get("results", []):
+        key = (row.get("level"), row.get("tokens"), row.get("threads"))
+        rows[key] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous", help="BENCH_codec_throughput.json from the last run")
+    parser.add_argument("current", help="BENCH_codec_throughput.json from this run")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        help="maximum allowed fractional drop (default 0.15)")
+    parser.add_argument("--metric", default="decode_msym_s",
+                        help="per-row metric to compare (default decode_msym_s)")
+    args = parser.parse_args()
+
+    prev = load_results(args.previous)
+    cur = load_results(args.current)
+    common = sorted(set(prev) & set(cur), key=str)
+    if not common:
+        print("no overlapping benchmark configurations; skipping trajectory gate")
+        return 0
+
+    failed = False
+    for key in common:
+        p = prev[key].get(args.metric, 0.0)
+        c = cur[key].get(args.metric, 0.0)
+        if p <= 0.0:
+            continue  # previous run did not measure this configuration
+        ratio = c / p
+        status = "OK"
+        if ratio < 1.0 - args.max_regression:
+            status = "FAIL"
+            failed = True
+        print(f"{status}: {key}: {args.metric} {p:.2f} -> {c:.2f} "
+              f"({100.0 * (ratio - 1.0):+.1f}%)")
+
+    if failed:
+        print(f"decode throughput regressed more than "
+              f"{100.0 * args.max_regression:.0f}% run-over-run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 // extension (§9): ship a coarse base now, refine when bandwidth recovers.
 #include <cstdio>
 
+#include "codec/encoding_level.h"
 #include "codec/layered_encoder.h"
 #include "net/link.h"
 #include "serving/engine.h"
@@ -33,7 +34,7 @@ void RunScenario(Engine& engine, const char* name, const BandwidthTrace& trace,
 }  // namespace
 
 int main() {
-  Engine engine({.model_name = "mistral-7b"});
+  Engine engine;  // defaults to the mistral-7b preset
   std::printf("== Adaptive KV streaming under bandwidth variation ==\n");
 
   const ContextSpec ctx{31337, 9000};
@@ -48,6 +49,25 @@ int main() {
               plan, 2.5);
   RunScenario(engine, "degraded 150 Mbps",
               BandwidthTrace::Constant(0.15), plan, 4.0);
+
+  // Progressive delivery (§9): the same dip trace, but every KV chunk ships
+  // as a layered base; after the base pass makes the context usable, the
+  // recovered link upgrades chunks until the SLO budget runs out. The
+  // StoreKV plan already prices the per-chunk enhancement layers.
+  std::printf("\n-- progressive (two-pass layered) delivery --\n");
+  const auto dip_trace =
+      BandwidthTrace::FromSegments({{0.0, 3.0}, {0.25, 0.06}, {1.2, 1.0}});
+  Link plink(dip_trace);
+  const KVStreamer pstreamer(engine.cost(), engine.model(), 2.5,
+                             DefaultEncodingLevels().size());
+  const StreamResult pr = pstreamer.Stream(plan, plink, /*gpu_share=*/0.5,
+                                           std::nullopt, StreamMode::kProgressive);
+  std::printf(
+      "base quality %.3f -> final %.3f (%.0f%% of tokens upgraded, %zu "
+      "enhancements, %zu aborted, SLO %s)\n",
+      pr.base_quality, pr.quality, 100.0 * pr.enhanced_token_fraction,
+      pr.enhancements_sent, pr.enhancements_aborted,
+      pr.slo_violated ? "VIOLATED" : "met");
 
   // Layered-encoding extension: base now, enhancement later.
   std::printf("\n-- incremental (SVC-style) streaming extension --\n");

@@ -16,7 +16,7 @@
 using namespace cachegen;
 
 int main() {
-  Engine engine({.model_name = "mistral-7b"});
+  Engine engine;  // defaults to the mistral-7b preset
   std::printf("== Multi-turn chat session with KV-cache offload ==\n");
 
   const uint64_t session_seed = 4242;

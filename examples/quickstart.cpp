@@ -13,7 +13,7 @@
 using namespace cachegen;
 
 int main() {
-  Engine engine({.model_name = "mistral-7b"});
+  Engine engine;  // defaults to the mistral-7b preset
 
   // A 9.6K-token context (e.g. a long chat history), identified by a seed.
   ContextSpec ctx{.seed = 1234, .num_tokens = 9600};

@@ -18,7 +18,7 @@
 using namespace cachegen;
 
 int main() {
-  Engine engine({.model_name = "mistral-7b"});
+  Engine engine;  // defaults to the mistral-7b preset
   std::printf("== RAG document serving over CacheGen ==\n");
 
   // The document corpus: financial reports, case law, a wiki article.

@@ -18,6 +18,7 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
   double first_arrival = outcomes.front().request.arrival_s;
   double last_finish = 0.0;
   double queue_sum = 0.0, qoe_sum = 0.0, quality_sum = 0.0;
+  double base_frac_sum = 0.0, enh_frac_sum = 0.0;
   double good_tokens = 0.0;
   size_t violations = 0, hits = 0;
 
@@ -26,8 +27,15 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
     first_arrival = std::min(first_arrival, o.request.arrival_s);
     last_finish = std::max(last_finish, o.finish_s);
     queue_sum += o.queue_delay_s;
-    qoe_sum += qoe.Mos(o.ttft_s, o.quality);
+    // Progressive requests are scored on the latency-discounted blend of
+    // base and enhanced quality; for everything else the two coincide
+    // (min() guards outcomes built without progressive accounting, whose
+    // base_quality is left at the default 1.0).
+    qoe_sum += qoe.MosWithRefinement(o.ttft_s, std::min(o.base_quality, o.quality),
+                                     o.quality, o.refine_delay_s);
     quality_sum += o.quality;
+    base_frac_sum += o.base_token_fraction;
+    enh_frac_sum += o.enhanced_token_fraction;
     if (o.slo_violated) {
       ++violations;
     } else {
@@ -50,18 +58,21 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
   s.mean_qoe_mos = qoe_sum / n;
   s.cache_hit_rate = static_cast<double>(hits) / n;
   s.mean_quality = quality_sum / n;
+  s.mean_base_fraction = base_frac_sum / n;
+  s.mean_enhanced_fraction = enh_frac_sum / n;
   return s;
 }
 
 std::string FormatSummary(const ClusterSummary& s) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "n=%zu ttft p50/p95/p99 = %.2f/%.2f/%.2f s, queue %.2f s, "
-                "SLO-viol %.0f%%, goodput %.0f tok/s, QoE %.2f, hit %.0f%%",
+                "SLO-viol %.0f%%, goodput %.0f tok/s, QoE %.2f, hit %.0f%%, "
+                "enh %.0f%%",
                 s.completed, s.p50_ttft_s, s.p95_ttft_s, s.p99_ttft_s,
                 s.mean_queue_delay_s, 100.0 * s.slo_violation_rate,
                 s.goodput_tokens_per_s, s.mean_qoe_mos,
-                100.0 * s.cache_hit_rate);
+                100.0 * s.cache_hit_rate, 100.0 * s.mean_enhanced_fraction);
   return buf;
 }
 

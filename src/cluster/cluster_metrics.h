@@ -27,6 +27,13 @@ struct RequestOutcome {
   double quality = 1.0;        // composed streaming quality factor
   double bytes_sent = 0.0;
   bool answer_correct = false;
+  // Progressive delivery (§9): quality after the base pass alone, how long
+  // after first-token the stream went quiet, and the token fractions left at
+  // base-only vs upgraded quality (both fractions 0 on non-progressive runs).
+  double base_quality = 1.0;
+  double refine_delay_s = 0.0;
+  double base_token_fraction = 0.0;
+  double enhanced_token_fraction = 0.0;
 };
 
 struct ClusterSummary {
@@ -43,6 +50,10 @@ struct ClusterSummary {
   double cache_hit_rate = 0.0;        // over served requests
   double mean_quality = 0.0;
   double total_gbytes_sent = 0.0;
+  // Progressive delivery: mean token fractions at base-only vs enhanced
+  // quality (0 on non-progressive runs, where no chunk is layered).
+  double mean_base_fraction = 0.0;
+  double mean_enhanced_fraction = 0.0;
 };
 
 ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,

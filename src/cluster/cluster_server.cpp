@@ -158,12 +158,17 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   const double hint = opts_.throughput_hint_gbps.value_or(
       link_->CapacityGbpsAt(admit_s) * gpu_share);
 
+  const StreamMode mode =
+      hit ? (opts_.progressive ? StreamMode::kProgressive : StreamMode::kAdaptive)
+          : StreamMode::kForceText;
   ClientLink client(*link_, flow);
-  const StreamResult sr =
-      streamer.Stream(plan, client, gpu_share, hint,
-                      hit ? StreamMode::kAdaptive : StreamMode::kForceText);
+  const StreamResult sr = streamer.Stream(plan, client, gpu_share, hint, mode);
 
-  const double free_s = admit_s + sr.ttft_s;
+  // The worker (and its link flow) stays occupied through the enhancement
+  // pass, which overlaps the prompt pass that runs right after load_finish;
+  // in non-progressive modes stream_finish == load_finish and this is the
+  // plain TTFT instant.
+  const double free_s = admit_s + std::max(sr.ttft_s, sr.stream_finish_s);
 
   RequestOutcome& out = (*outcomes)[slot];
   out.request = rq;
@@ -178,6 +183,10 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   out.forced_text = !hit;
   out.quality = sr.quality;
   out.bytes_sent = sr.bytes_sent;
+  out.base_quality = sr.base_quality;
+  out.refine_delay_s = std::max(0.0, sr.stream_finish_s - sr.load_finish_s);
+  out.base_token_fraction = sr.base_token_fraction;
+  out.enhanced_token_fraction = sr.enhanced_token_fraction;
 
   // Cache-tier mutations happen BEFORE the worker slot is handed back:
   // CompleteFlow is what lets the coordinator admit the next request, so
@@ -204,6 +213,9 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
     std::vector<int> levels;
     levels.reserve(sr.steps.size());
     for (const StreamStep& step : sr.steps) {
+      // Enhancement steps revisit a chunk the base pass already delivered;
+      // assembly wants exactly one decision per chunk.
+      if (step.enhancement) continue;
       levels.push_back(step.config.text ? -1 : step.config.level_id);
     }
     try {

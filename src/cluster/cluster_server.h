@@ -58,6 +58,11 @@ class ClusterServer {
     // On a cache miss, prefill + encode + store the context so later
     // requests hit (may evict under capacity pressure).
     bool write_back_on_miss = true;
+    // Progressive (§9) delivery on cache hits: the streamer runs the
+    // two-pass layered timeline, so under link contention a request degrades
+    // to base-only quality instead of missing its SLO, and upgrades chunks
+    // when the shared path has slack.
+    bool progressive = false;
     // First-chunk throughput prior handed to the streamer; defaults to the
     // aggregate capacity divided by the number of in-flight streams.
     std::optional<double> throughput_hint_gbps;

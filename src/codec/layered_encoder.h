@@ -33,6 +33,12 @@ class LayeredEncoder {
                  const EncodingLevel& base_level, double fine_bin_sigma = 0.25,
                  const CodecOptions& options = {});
 
+  // Shares an existing TableSet (e.g. the Engine's per-level ladder) instead
+  // of rebuilding one; `tables` must match `base_level`.
+  LayeredEncoder(std::shared_ptr<const KVProfile> profile,
+                 std::shared_ptr<const TableSet> tables,
+                 const EncodingLevel& base_level, double fine_bin_sigma = 0.25);
+
   LayeredChunk Encode(const KVCache& chunk, uint32_t chunk_index = 0,
                       uint64_t token_begin = 0) const;
 
@@ -42,12 +48,26 @@ class LayeredEncoder {
   // Decode base + enhancement (fine reconstruction).
   KVCache DecodeFull(const LayeredChunk& chunk) const;
 
+  // Estimated enhancement-layer payload bytes for `chunk` without running
+  // the range coder: empirical order-0 entropy of the residual symbols,
+  // which tracks the adaptive model's coded length closely (the model
+  // converges to the empirical distribution within a few rebuild windows).
+  // The second form reuses an already-encoded base layer (e.g. store_kv has
+  // just produced it) and skips the internal base encode.
+  double EstimateEnhancementBytes(const KVCache& chunk) const;
+  double EstimateEnhancementBytes(const KVCache& chunk,
+                                  const EncodedChunk& base) const;
+
+  int base_level_id() const { return base_level_id_; }
+  double fine_bin_sigma() const { return fine_bin_sigma_; }
+
  private:
   std::shared_ptr<const KVProfile> profile_;
   std::shared_ptr<const TableSet> tables_;
   KVEncoder base_encoder_;
   KVDecoder base_decoder_;
   double fine_bin_sigma_;
+  int base_level_id_ = 0;
 };
 
 }  // namespace cachegen

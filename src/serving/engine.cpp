@@ -1,5 +1,6 @@
 #include "serving/engine.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "baselines/quant_baseline.h"
@@ -16,10 +17,13 @@ Engine::Engine(Options opts, std::shared_ptr<KVStore> store)
   const auto& levels = DefaultEncodingLevels();
   encoders_.resize(levels.size());
   decoders_.resize(levels.size());
+  layered_.resize(levels.size());
   for (size_t i = 0; i < levels.size(); ++i) {
     auto tables = std::make_shared<TableSet>(*profile_, levels[i], opts_.codec);
     encoders_[i] = std::make_unique<KVEncoder>(profile_, tables);
     decoders_[i] = std::make_unique<KVDecoder>(profile_, tables);
+    layered_[i] = std::make_unique<LayeredEncoder>(profile_, tables, levels[i],
+                                                   opts_.fine_bin_sigma);
   }
 }
 
@@ -46,6 +50,9 @@ const KVEncoder& Engine::EncoderFor(int level) const {
 const KVDecoder& Engine::DecoderFor(int level) const {
   return *decoders_.at(static_cast<size_t>(level));
 }
+const LayeredEncoder& Engine::LayeredFor(int level) const {
+  return *layered_.at(static_cast<size_t>(level));
+}
 
 ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ctx) {
   const KVCache cache = CalculateKV(ctx);
@@ -55,6 +62,11 @@ ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ct
   ContextPlan plan;
   plan.total_tokens = ctx.num_tokens;
   plan.quality_per_level = calibration().quality_per_level;
+  plan.quality_enhanced_per_level = calibration().quality_enhanced_per_level;
+  // When the engine carries a layered calibration, the returned plan prices
+  // per-chunk enhancement layers too (entropy estimate over the residual the
+  // just-encoded base leaves behind), so it can drive kProgressive directly.
+  const bool layered = !plan.quality_enhanced_per_level.empty();
   plan.chunks.reserve(ranges.size());
 
   for (size_t i = 0; i < ranges.size(); ++i) {
@@ -62,6 +74,7 @@ ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ct
     ChunkPlan cp;
     cp.range = ranges[i];
     cp.bytes_per_level.resize(levels.size());
+    if (layered) cp.enh_bytes_per_level.resize(levels.size());
     for (size_t lv = 0; lv < levels.size(); ++lv) {
       const EncodedChunk enc = encoders_[lv]->EncodeChunk(
           chunk_kv, static_cast<uint32_t>(i), ranges[i].begin);
@@ -69,6 +82,11 @@ ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ct
       store_->Put({context_id, static_cast<uint32_t>(i), levels[lv].id}, bytes);
       cp.bytes_per_level[lv] =
           static_cast<double>(enc.WireBytes()) * model_.size_scale();
+      if (layered) {
+        cp.enh_bytes_per_level[lv] =
+            layered_[lv]->EstimateEnhancementBytes(chunk_kv, enc) *
+            model_.size_scale();
+      }
     }
     plan.chunks.push_back(std::move(cp));
   }
@@ -80,6 +98,28 @@ std::optional<EncodedChunk> Engine::GetKV(const std::string& context_id,
   const auto bytes = store_->Get({context_id, chunk, level});
   if (!bytes) return std::nullopt;
   return ParseChunk(*bytes);
+}
+
+void Engine::StoreLayeredKV(const std::string& context_id, const ContextSpec& ctx,
+                            int base_level) {
+  const KVCache cache = CalculateKV(ctx);
+  const LayeredEncoder& codec = LayeredFor(base_level);
+  const auto ranges = SplitIntoChunks(ctx.num_tokens, opts_.chunk_tokens);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    const KVCache chunk_kv = cache.SliceTokens(ranges[i].begin, ranges[i].end);
+    const LayeredChunk lc =
+        codec.Encode(chunk_kv, static_cast<uint32_t>(i), ranges[i].begin);
+    store_->Put({context_id, static_cast<uint32_t>(i), LayeredLevelKey(base_level)},
+                SerializeLayeredChunk(lc));
+  }
+}
+
+std::optional<LayeredChunk> Engine::GetLayeredKV(const std::string& context_id,
+                                                 uint32_t chunk,
+                                                 int base_level) const {
+  const auto bytes = store_->Get({context_id, chunk, LayeredLevelKey(base_level)});
+  if (!bytes) return std::nullopt;
+  return ParseLayeredChunk(*bytes);
 }
 
 KVCache Engine::AssembleKV(const std::string& context_id, const ContextSpec& ctx,
@@ -144,6 +184,24 @@ void Engine::BuildCalibration() {
         static_cast<double>(val.num_tokens);
     calib.quality_per_level[lv] = quality_.QualityFromKV(cache, recon);
   }
+
+  // Layered calibration (§9): per base level, the enhancement-layer size and
+  // the quality the enhancement lifts that base to. A shorter validation
+  // slice keeps the scalar residual coder off the critical path.
+  if (opts_.layered_calib_tokens > 0) {
+    const size_t lt = std::min(opts_.layered_calib_tokens, val.num_tokens);
+    const KVCache lcache = cache.SliceTokens(0, lt);
+    calib.enh_bytes_per_token_per_level.resize(levels.size());
+    calib.quality_enhanced_per_level.resize(levels.size());
+    for (size_t lv = 0; lv < levels.size(); ++lv) {
+      const LayeredChunk lc = layered_[lv]->Encode(lcache);
+      const KVCache full = layered_[lv]->DecodeFull(lc);
+      calib.enh_bytes_per_token_per_level[lv] =
+          static_cast<double>(lc.enhancement.size()) * model_.size_scale() /
+          static_cast<double>(lt);
+      calib.quality_enhanced_per_level[lv] = quality_.QualityFromKV(lcache, full);
+    }
+  }
   for (int bits : {3, 4, 8}) {
     const QuantBaseline qb(bits);
     const QuantBaselineResult r = qb.Apply(cache);
@@ -164,6 +222,7 @@ ContextPlan Engine::PlanFromCalibration(size_t tokens) {
   ContextPlan plan;
   plan.total_tokens = tokens;
   plan.quality_per_level = calib.quality_per_level;
+  plan.quality_enhanced_per_level = calib.quality_enhanced_per_level;
   plan.text_bytes_per_token = calib.text_bytes_per_token;
   for (const ChunkRange& range : SplitIntoChunks(tokens, opts_.chunk_tokens)) {
     ChunkPlan cp;
@@ -171,6 +230,10 @@ ContextPlan Engine::PlanFromCalibration(size_t tokens) {
     cp.bytes_per_level.reserve(calib.bytes_per_token_per_level.size());
     for (double bpt : calib.bytes_per_token_per_level) {
       cp.bytes_per_level.push_back(bpt * static_cast<double>(range.size()));
+    }
+    cp.enh_bytes_per_level.reserve(calib.enh_bytes_per_token_per_level.size());
+    for (double bpt : calib.enh_bytes_per_token_per_level) {
+      cp.enh_bytes_per_level.push_back(bpt * static_cast<double>(range.size()));
     }
     plan.chunks.push_back(std::move(cp));
   }

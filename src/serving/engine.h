@@ -38,6 +38,11 @@ class Engine {
     size_t calib_context_tokens = 1200;
     size_t calib_num_contexts = 10;
     CodecOptions codec;
+    // Layered (§9 progressive streaming) extension: residual bin width of
+    // the enhancement layer, and the validation-slice length used to
+    // calibrate per-level enhancement sizes and enhanced quality.
+    double fine_bin_sigma = 0.25;
+    size_t layered_calib_tokens = 512;
   };
 
   Engine() : Engine(Options{}) {}
@@ -56,12 +61,23 @@ class Engine {
 
   // store_kv (§6): prefill, chunk, encode at every level, persist to the
   // store under `context_id`. Returns the streaming plan (per-chunk sizes at
-  // every level, per-level quality factors).
+  // every level, per-level quality factors; with a layered calibration the
+  // plan also carries estimated per-chunk enhancement sizes, so it can drive
+  // StreamMode::kProgressive directly).
   ContextPlan StoreKV(const std::string& context_id, const ContextSpec& ctx);
 
   // get_kv (§6): fetch one chunk's bitstream at one level.
   std::optional<EncodedChunk> GetKV(const std::string& context_id, uint32_t chunk,
                                     int level) const;
+
+  // Layered store_kv/get_kv pair (§9 progressive streaming): prefill, chunk,
+  // encode base + enhancement at `base_level`, persist the layered container
+  // under LayeredLevelKey(base_level). A request can then stream the base now
+  // and the enhancement when slack remains.
+  void StoreLayeredKV(const std::string& context_id, const ContextSpec& ctx,
+                      int base_level);
+  std::optional<LayeredChunk> GetLayeredKV(const std::string& context_id,
+                                           uint32_t chunk, int base_level) const;
 
   // Reassemble a context's KV from per-chunk streaming decisions: encoded
   // chunks are fetched from the store and decoded; text chunks are
@@ -91,6 +107,8 @@ class Engine {
   // to call concurrently from cluster workers sharing one Engine.
   const KVEncoder& EncoderFor(int level) const;
   const KVDecoder& DecoderFor(int level) const;
+  // Layered codec whose base layer is encoded at `level` (same TableSets).
+  const LayeredEncoder& LayeredFor(int level) const;
 
  private:
   void BuildProfile();
@@ -105,6 +123,7 @@ class Engine {
   std::shared_ptr<const KVProfile> profile_;
   std::vector<std::unique_ptr<KVEncoder>> encoders_;
   std::vector<std::unique_ptr<KVDecoder>> decoders_;
+  std::vector<std::unique_ptr<LayeredEncoder>> layered_;
   std::once_flag calibration_once_;
   std::optional<CodecCalibration> calibration_;
 };

@@ -25,6 +25,12 @@ struct CodecCalibration {
   std::vector<double> bytes_per_token_per_level;
   // Distortion quality factor per encoding level id.
   std::vector<double> quality_per_level;
+  // Layered (§9) extension, indexed by the *base* encoding level id:
+  // enhancement-layer bytes per token, and the quality factor after the
+  // enhancement has been applied on top of that base. Empty when the engine
+  // was built without layered calibration.
+  std::vector<double> enh_bytes_per_token_per_level;
+  std::vector<double> quality_enhanced_per_level;
   // Uniform-quantization baseline: bits -> {bytes/token, quality factor}.
   std::map<int, double> quant_bytes_per_token;
   std::map<int, double> quant_quality;

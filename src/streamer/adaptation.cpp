@@ -47,12 +47,47 @@ AdaptDecision Adapter::Choose(const ContextPlan& plan, size_t next_chunk,
   // Algorithm 1: least compression loss whose projected completion still
   // meets the SLO.
   for (const auto& [config, expected] : options) {
-    if (expected <= remaining_s) return {config, expected, true};
+    if (expected <= remaining_s) {
+      return {config, expected, true, remaining_s - expected};
+    }
   }
   // Nothing fits: minimize the damage (fastest configuration).
-  AdaptDecision best{options.front().first, options.front().second, false};
+  AdaptDecision best{options.front().first, options.front().second, false, 0.0};
   for (const auto& [config, expected] : options) {
-    if (expected < best.expected_remaining_s) best = {config, expected, false};
+    if (expected < best.expected_remaining_s) best = {config, expected, false, 0.0};
+  }
+  return best;
+}
+
+AdaptDecision Adapter::ChooseBase(const ContextPlan& plan, size_t next_chunk,
+                                  double throughput_bytes_per_s, double elapsed_s,
+                                  double gpu_share) const {
+  AdaptDecision d =
+      Choose(plan, next_chunk, throughput_bytes_per_s, elapsed_s, gpu_share);
+  if (!d.config.text && plan.HasLayered()) d.config.layered = true;
+  return d;
+}
+
+std::optional<size_t> Adapter::ChooseEnhancement(
+    std::span<const EnhancementOption> options, double throughput_bytes_per_s,
+    double elapsed_s) const {
+  if (throughput_bytes_per_s <= 0.0) {
+    throw std::invalid_argument("Adapter::ChooseEnhancement: non-positive throughput");
+  }
+  const double remaining_s = slo_s_ - elapsed_s;
+  std::optional<size_t> best;
+  double best_gain_per_byte = 0.0;
+  for (size_t i = 0; i < options.size(); ++i) {
+    const EnhancementOption& o = options[i];
+    if (o.bytes <= 0.0 || o.gain_tokens <= 0.0) continue;
+    if (o.bytes / throughput_bytes_per_s > remaining_s) continue;
+    const double gain_per_byte = o.gain_tokens / o.bytes;
+    if (!best || gain_per_byte > best_gain_per_byte ||
+        (gain_per_byte == best_gain_per_byte &&
+         o.chunk_index < options[*best].chunk_index)) {
+      best = i;
+      best_gain_per_byte = gain_per_byte;
+    }
   }
   return best;
 }

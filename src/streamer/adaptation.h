@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "llm/cost_model.h"
@@ -21,6 +23,10 @@ namespace cachegen {
 struct StreamConfig {
   bool text = false;  // send text and recompute KV on the GPU
   int level_id = 1;   // valid when !text
+  // Progressive delivery (§9): the chunk ships as the base layer of a
+  // layered encoding at `level_id`; its enhancement layer may follow in the
+  // enhancement pass once every chunk's base has landed.
+  bool layered = false;
 
   bool operator==(const StreamConfig&) const = default;
 };
@@ -29,6 +35,9 @@ struct AdaptDecision {
   StreamConfig config;
   double expected_remaining_s = 0.0;  // projected completion of all remaining work
   bool feasible = false;              // fit within the SLO's remaining time
+  // Projected SLO time left once all remaining base layers have landed —
+  // the budget an enhancement pass could spend (0 when infeasible).
+  double enhancement_slack_s = 0.0;
 };
 
 class Adapter {
@@ -45,6 +54,29 @@ class Adapter {
   AdaptDecision Choose(const ContextPlan& plan, size_t next_chunk,
                        double throughput_bytes_per_s, double elapsed_s,
                        double gpu_share = 1.0) const;
+
+  // Progressive (§9) base-pass decision: the same least-loss-within-deadline
+  // rule as Choose(), with a KV pick marked `layered` when the plan carries
+  // enhancement streams, and the projected post-base slack filled in so the
+  // caller knows how much budget an enhancement pass would have.
+  AdaptDecision ChooseBase(const ContextPlan& plan, size_t next_chunk,
+                           double throughput_bytes_per_s, double elapsed_s,
+                           double gpu_share = 1.0) const;
+
+  // One enhanceable chunk after the base pass.
+  struct EnhancementOption {
+    size_t chunk_index = 0;
+    double bytes = 0.0;        // enhancement payload still to ship
+    double gain_tokens = 0.0;  // (enhanced - base quality) * chunk tokens
+  };
+
+  // Enhancement-pass decision: among candidates whose transfer still fits
+  // within the SLO's remaining time at the measured throughput, pick the one
+  // with the highest quality gain per byte (ties to the earlier chunk).
+  // Returns an index into `options`, or nullopt when nothing fits.
+  std::optional<size_t> ChooseEnhancement(
+      std::span<const EnhancementOption> options, double throughput_bytes_per_s,
+      double elapsed_s) const;
 
   double slo_s() const { return slo_s_; }
 

@@ -89,11 +89,13 @@ BatchResult BatchStreamer::Stream(const std::vector<ContextPlan>& plans, Link& l
   for (size_t r = 0; r < plans.size(); ++r) {
     StreamResult& rr = result.per_request[r];
     rr.load_finish_s = rr.steps.empty() ? 0.0 : gpu_free[r] - t0;
+    rr.stream_finish_s = rr.load_finish_s;  // batch mode streams no enhancements
     rr.ttft_s = rr.load_finish_s + cost_.PromptPassSeconds();
     rr.slo_violated = rr.load_finish_s > slo_s_;
     rr.quality = plans[r].total_tokens
                      ? quality_tokens[r] / static_cast<double>(plans[r].total_tokens)
                      : 1.0;
+    rr.base_quality = rr.quality;
     result.makespan_s = std::max(result.makespan_s, rr.load_finish_s);
   }
   return result;

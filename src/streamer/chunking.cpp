@@ -27,4 +27,18 @@ size_t ContextPlan::TokensFrom(size_t first_chunk) const {
   return tokens;
 }
 
+bool ContextPlan::HasLayered() const {
+  if (chunks.empty() || quality_enhanced_per_level.empty()) return false;
+  for (const ChunkPlan& c : chunks) {
+    if (c.enh_bytes_per_level.empty()) return false;
+  }
+  return true;
+}
+
+double ContextPlan::EnhancementBytes(size_t chunk, int level) const {
+  const auto& enh = chunks.at(chunk).enh_bytes_per_level;
+  const auto idx = static_cast<size_t>(level);
+  return idx < enh.size() ? enh[idx] : 0.0;
+}
+
 }  // namespace cachegen

@@ -27,6 +27,9 @@ std::vector<ChunkRange> SplitIntoChunks(size_t num_tokens,
 struct ChunkPlan {
   ChunkRange range;
   std::vector<double> bytes_per_level;    // indexed by EncodingLevel::id
+  // Layered (§9) extension: enhancement-layer bytes when this chunk's base
+  // shipped at each level. Empty when the context carries no layered streams.
+  std::vector<double> enh_bytes_per_level;
 };
 
 // Everything the streamer needs to know about one context, computed offline
@@ -35,11 +38,20 @@ struct ChunkPlan {
 struct ContextPlan {
   std::vector<ChunkPlan> chunks;
   std::vector<double> quality_per_level;  // distortion quality factor per level
+  // Quality factor after the enhancement layer is applied on top of each
+  // base level; empty when the context carries no layered streams.
+  std::vector<double> quality_enhanced_per_level;
   double text_bytes_per_token = 4.0;      // ~1 token = 4 UTF-8 bytes
   size_t total_tokens = 0;
 
   double BytesAtLevel(size_t first_chunk, int level) const;
   size_t TokensFrom(size_t first_chunk) const;
+
+  // True when every chunk carries enhancement sizes, i.e. the progressive
+  // two-pass timeline has something to schedule.
+  bool HasLayered() const;
+  // Enhancement bytes for one chunk's base level; 0 when unavailable.
+  double EnhancementBytes(size_t chunk, int level) const;
 };
 
 }  // namespace cachegen

@@ -8,6 +8,10 @@ namespace cachegen {
 namespace {
 // Default medium level for the first chunk when no throughput prior exists.
 constexpr int kDefaultFirstLevel = 1;
+// An enhancement transfer is split into segments so the streamer can re-check
+// the deadline against the measured throughput mid-stream and abort the
+// remainder when the link collapses (the chunk stays usable at base quality).
+constexpr int kEnhancementSegments = 4;
 }
 
 KVStreamer::KVStreamer(const CostModel& cost, const ModelConfig& model,
@@ -26,18 +30,28 @@ StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
   double gpu_free_s = t0;
   double measured_bytes_per_s =
       throughput_hint_gbps ? *throughput_hint_gbps * 1e9 / 8.0 : 0.0;
+  const bool progressive = mode == StreamMode::kProgressive && plan.HasLayered();
 
   double quality_tokens = 0.0;
+  double kv_tokens = 0.0;  // tokens delivered as KV bitstreams (not text)
 
+  // ---- base pass: every chunk becomes usable -----------------------------
+  // In progressive mode the decisions and timeline are identical to
+  // kAdaptive; the picked KV configs are additionally marked layered so the
+  // enhancement pass knows what it can upgrade.
   for (size_t i = 0; i < plan.chunks.size(); ++i) {
     const ChunkPlan& chunk = plan.chunks[i];
-    StreamConfig config{false, kDefaultFirstLevel};
+    StreamConfig config{false, kDefaultFirstLevel, progressive};
     if (mode == StreamMode::kForceText) {
       config = StreamConfig{true, kDefaultFirstLevel};
     } else if (measured_bytes_per_s > 0.0) {
-      config = adapter_
-                   .Choose(plan, i, measured_bytes_per_s, link.now() - t0, gpu_share)
-                   .config;
+      const AdaptDecision d =
+          progressive
+              ? adapter_.ChooseBase(plan, i, measured_bytes_per_s,
+                                    link.now() - t0, gpu_share)
+              : adapter_.Choose(plan, i, measured_bytes_per_s, link.now() - t0,
+                                gpu_share);
+      config = d.config;
     }
 
     StreamStep step;
@@ -75,6 +89,7 @@ StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
         config.text ? 1.0
                     : plan.quality_per_level.at(static_cast<size_t>(config.level_id));
     quality_tokens += chunk_quality * static_cast<double>(tokens);
+    if (!config.text) kv_tokens += static_cast<double>(tokens);
 
     result.steps.push_back(step);
   }
@@ -82,9 +97,96 @@ StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
   result.load_finish_s = result.steps.empty() ? 0.0 : gpu_free_s - t0;
   result.ttft_s = result.load_finish_s + cost_.PromptPassSeconds();
   result.slo_violated = result.load_finish_s > adapter_.slo_s();
-  result.quality = plan.total_tokens
-                       ? quality_tokens / static_cast<double>(plan.total_tokens)
-                       : 1.0;
+  const double total_tokens = static_cast<double>(plan.total_tokens);
+  result.base_quality =
+      plan.total_tokens ? quality_tokens / total_tokens : 1.0;
+  result.stream_finish_s = result.load_finish_s;
+
+  // ---- enhancement pass: upgrade in quality-gain-per-byte order ----------
+  double enhanced_tokens = 0.0;
+  if (progressive && !result.steps.empty() && measured_bytes_per_s > 0.0) {
+    std::vector<Adapter::EnhancementOption> cands;
+    cands.reserve(plan.chunks.size());
+    for (size_t i = 0; i < plan.chunks.size(); ++i) {
+      const StreamConfig& cfg = result.steps[i].config;
+      if (cfg.text || !cfg.layered) continue;
+      const size_t lv = static_cast<size_t>(cfg.level_id);
+      const double bytes = plan.EnhancementBytes(i, cfg.level_id);
+      const double gain = (plan.quality_enhanced_per_level.at(lv) -
+                           plan.quality_per_level.at(lv)) *
+                          static_cast<double>(plan.chunks[i].range.size());
+      if (bytes <= 0.0 || gain <= 0.0) continue;
+      cands.push_back({i, bytes, gain});
+    }
+
+    while (!cands.empty()) {
+      const auto pick = adapter_.ChooseEnhancement(cands, measured_bytes_per_s,
+                                                   link.now() - t0);
+      if (!pick) break;
+      const Adapter::EnhancementOption opt = cands[*pick];
+      cands.erase(cands.begin() + static_cast<ptrdiff_t>(*pick));
+
+      StreamStep step;
+      step.chunk_index = opt.chunk_index;
+      step.config = result.steps[opt.chunk_index].config;
+      step.enhancement = true;
+      step.tx_start_s = link.now();
+      step.tx_end_s = step.tx_start_s;
+      const double seg_bytes = opt.bytes / kEnhancementSegments;
+      double sent = 0.0;
+      for (int s = 0; s < kEnhancementSegments; ++s) {
+        // Re-check the deadline against the measured throughput before every
+        // segment: when the link collapses, the remainder is abandoned and
+        // the chunk simply stays at base quality.
+        const double left_with_seg = opt.bytes - sent;
+        if (left_with_seg / measured_bytes_per_s >
+            adapter_.slo_s() - (link.now() - t0)) {
+          step.aborted = true;
+          break;
+        }
+        const TransferRecord rec = link.Send(seg_bytes);
+        step.tx_end_s = rec.end_s;
+        sent += seg_bytes;
+        measured_bytes_per_s = rec.Seconds() > 0.0 ? seg_bytes / rec.Seconds()
+                                                   : measured_bytes_per_s;
+      }
+      // A collapse inside the very last segment can still blow the deadline
+      // after every projection said it fit; a refinement that lands outside
+      // the SLO window is discarded rather than credited.
+      if (!step.aborted && step.tx_end_s - t0 > adapter_.slo_s()) {
+        step.aborted = true;
+      }
+      step.bytes = sent;
+      const double span_s = step.tx_end_s - step.tx_start_s;
+      step.observed_gbps = span_s > 0.0 ? sent * 8.0 / 1e9 / span_s : 0.0;
+      result.bytes_sent += sent;
+
+      if (step.aborted) {
+        step.gpu_done_s = step.tx_end_s;  // nothing applied
+        // The link was still held through the wasted segments.
+        result.stream_finish_s =
+            std::max(result.stream_finish_s, step.tx_end_s - t0);
+        ++result.enhancements_aborted;
+      } else {
+        const size_t tokens = plan.chunks[opt.chunk_index].range.size();
+        const double gpu_seconds =
+            cost_.DecodeSeconds(model_.RawKVBytes(tokens), gpu_share);
+        step.gpu_done_s = std::max(step.tx_end_s, gpu_free_s) + gpu_seconds;
+        gpu_free_s = step.gpu_done_s;
+        result.stream_finish_s = std::max(result.stream_finish_s, gpu_free_s - t0);
+        quality_tokens += opt.gain_tokens;
+        enhanced_tokens += static_cast<double>(tokens);
+        ++result.enhancements_sent;
+      }
+      result.steps.push_back(step);
+    }
+  }
+
+  result.quality = plan.total_tokens ? quality_tokens / total_tokens : 1.0;
+  if (plan.total_tokens && progressive) {
+    result.enhanced_token_fraction = enhanced_tokens / total_tokens;
+    result.base_token_fraction = (kv_tokens - enhanced_tokens) / total_tokens;
+  }
   return result;
 }
 

@@ -25,6 +25,12 @@ struct StreamStep {
   double gpu_done_s = 0.0;   // chunk decoded (KV) or prefilled (text)
   double bytes = 0.0;
   double observed_gbps = 0.0;
+  // Progressive delivery: this step shipped an enhancement layer on top of
+  // an already-delivered base (aborted = cut off mid-transfer because the
+  // measured throughput collapsed, or completed past the SLO window and
+  // discarded; either way the chunk stays at base quality).
+  bool enhancement = false;
+  bool aborted = false;
 };
 
 struct StreamResult {
@@ -34,12 +40,31 @@ struct StreamResult {
   bool slo_violated = false;
   double quality = 1.0;        // token-weighted composed quality factor
   double bytes_sent = 0.0;
+  // Progressive delivery accounting. load_finish_s/ttft_s are pinned to the
+  // base pass (the base layers alone make every chunk usable); enhancement
+  // layers land behind the first tokens but must arrive within the SLO
+  // window to lift `quality` above `base_quality`. The token fractions are
+  // only filled by a progressive run (0 otherwise).
+  double base_quality = 1.0;          // token-weighted quality after the base pass
+  // Instant the stream went quiet — last transfer (applied or aborted) and
+  // any GPU apply done; >= load_finish_s.
+  double stream_finish_s = 0.0;
+  double base_token_fraction = 0.0;      // KV tokens left at base-only quality
+  double enhanced_token_fraction = 0.0;  // KV tokens upgraded by an enhancement
+  size_t enhancements_sent = 0;
+  size_t enhancements_aborted = 0;
 };
 
 // Per-chunk configuration policy for one stream.
 enum class StreamMode {
-  kAdaptive,   // Algorithm-1 adapter picks text/level per chunk (default)
-  kForceText,  // every chunk ships as text + recompute — the cache-miss path
+  kAdaptive,     // Algorithm-1 adapter picks text/level per chunk (default)
+  kForceText,    // every chunk ships as text + recompute — the cache-miss path
+  // §9 progressive delivery: a base pass (identical decisions and timeline
+  // to kAdaptive) makes every chunk usable, then an enhancement pass
+  // upgrades chunks in quality-gain-per-byte order until the SLO budget or
+  // the link runs out. Falls back to kAdaptive when the plan carries no
+  // layered streams.
+  kProgressive,
 };
 
 class KVStreamer {

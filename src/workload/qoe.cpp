@@ -13,4 +13,15 @@ double QoEModel::Mos(double ttft_s, double quality) const {
   return std::clamp(latency_part - quality_penalty, p_.min_mos, 5.0);
 }
 
+double QoEModel::MosWithRefinement(double ttft_s, double base_quality,
+                                   double final_quality,
+                                   double refine_delay_s) const {
+  refine_delay_s = std::max(refine_delay_s, 0.0);
+  final_quality = std::max(final_quality, base_quality);
+  const double weight = std::exp(-p_.latency_decay * refine_delay_s);
+  const double perceived =
+      base_quality + (final_quality - base_quality) * weight;
+  return Mos(ttft_s, perceived);
+}
+
 }  // namespace cachegen

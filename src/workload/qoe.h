@@ -20,6 +20,15 @@ class QoEModel {
   // `quality` is the composed quality factor in [0,1].
   double Mos(double ttft_s, double quality = 1.0) const;
 
+  // Progressive delivery (§9): the user reads base-quality output first and
+  // only benefits from the enhanced quality once the refinement lands
+  // `refine_delay_s` after the first token. The perceived quality is the
+  // latency-discounted blend of the two; reduces to Mos(ttft, final_quality)
+  // when the refinement is instant and to Mos(ttft, base_quality) as the
+  // refinement delay grows.
+  double MosWithRefinement(double ttft_s, double base_quality,
+                           double final_quality, double refine_delay_s) const;
+
  private:
   QoEParams p_;
 };

@@ -374,5 +374,58 @@ TEST_F(CodecTest, LayeredTotalCostModest) {
   EXPECT_LT(static_cast<double>(lc.TotalBytes()), 2.0 * direct);
 }
 
+TEST_F(CodecTest, LayeredContainerRoundTrip) {
+  const KVCache chunk = model_->Prefill({217, 90});
+  const LayeredEncoder layered(profile_, DefaultEncodingLevels()[2], 0.25);
+  const LayeredChunk lc = layered.Encode(chunk, 3, 4500);
+  const std::vector<uint8_t> bytes = SerializeLayeredChunk(lc);
+  const LayeredChunk back = ParseLayeredChunk(bytes);
+  EXPECT_EQ(back.fine_bin_sigma, lc.fine_bin_sigma);
+  EXPECT_EQ(back.enhancement, lc.enhancement);
+  EXPECT_EQ(back.base.chunk_index, 3u);
+  EXPECT_EQ(back.base.token_begin, 4500u);
+  EXPECT_EQ(back.base.streams, lc.base.streams);
+  // Bit-identical reconstructions through the round trip.
+  EXPECT_DOUBLE_EQ(layered.DecodeFull(back).Mse(layered.DecodeFull(lc)), 0.0);
+}
+
+TEST_F(CodecTest, LayeredContainerRejectsCorruption) {
+  const KVCache chunk = model_->Prefill({218, 60});
+  const LayeredEncoder layered(profile_, DefaultEncodingLevels()[2], 0.25);
+  std::vector<uint8_t> bytes = SerializeLayeredChunk(layered.Encode(chunk));
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[0] ^= 0xFF;  // break the magic
+    EXPECT_THROW(ParseLayeredChunk(bad), std::runtime_error);
+  }
+  // Truncation anywhere in the container is detected by the blob framing.
+  const std::vector<uint8_t> truncated(bytes.begin(),
+                                       bytes.end() - static_cast<ptrdiff_t>(8));
+  EXPECT_THROW(ParseLayeredChunk(truncated), std::out_of_range);
+  EXPECT_THROW(ParseLayeredChunk(std::span<const uint8_t>{}), std::out_of_range);
+}
+
+TEST_F(CodecTest, TruncatedEnhancementKeepsBaseDecodable) {
+  // The §9 mid-stream abort story: an enhancement cut off partway must never
+  // poison the chunk — the base stays decodable, and applying the truncated
+  // enhancement fails loudly instead of producing silent garbage.
+  const KVCache chunk = model_->Prefill({219, 80});
+  const LayeredEncoder layered(profile_, DefaultEncodingLevels()[2], 0.25);
+  LayeredChunk lc = layered.Encode(chunk);
+  ASSERT_GT(lc.enhancement.size(), 16u);
+  lc.enhancement.resize(lc.enhancement.size() / 2);
+  EXPECT_NO_THROW(layered.DecodeBase(lc));
+  EXPECT_THROW(layered.DecodeFull(lc), std::out_of_range);
+}
+
+TEST_F(CodecTest, EnhancementSizeEstimateTracksActual) {
+  const KVCache chunk = model_->Prefill({220, 150});
+  const LayeredEncoder layered(profile_, DefaultEncodingLevels()[2], 0.25);
+  const double actual = static_cast<double>(layered.Encode(chunk).enhancement.size());
+  const double estimate = layered.EstimateEnhancementBytes(chunk);
+  EXPECT_GT(estimate, 0.6 * actual);
+  EXPECT_LT(estimate, 1.4 * actual);
+}
+
 }  // namespace
 }  // namespace cachegen

@@ -15,11 +15,17 @@
 namespace cachegen {
 namespace {
 
+Engine::Options IntegrationOptions() {
+  Engine::Options opts;
+  opts.model_name = "mistral-7b";
+  opts.chunk_tokens = 300;
+  opts.calib_context_tokens = 600;
+  opts.calib_num_contexts = 2;
+  return opts;
+}
+
 Engine& SharedEngine() {
-  static Engine e({.model_name = "mistral-7b",
-                   .chunk_tokens = 300,
-                   .calib_context_tokens = 600,
-                   .calib_num_contexts = 2});
+  static Engine e(IntegrationOptions());
   return e;
 }
 

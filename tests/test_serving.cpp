@@ -10,12 +10,19 @@ namespace {
 
 class ServingTest : public ::testing::Test {
  protected:
+  static Engine::Options MakeOptions(size_t chunk_tokens, size_t calib_tokens,
+                                     size_t calib_contexts) {
+    Engine::Options opts;
+    opts.model_name = "mistral-7b";
+    opts.chunk_tokens = chunk_tokens;
+    opts.calib_context_tokens = calib_tokens;
+    opts.calib_num_contexts = calib_contexts;
+    return opts;
+  }
+
   // One shared engine: construction builds the codec profile.
   static Engine& engine() {
-    static Engine e({.model_name = "mistral-7b",
-                     .chunk_tokens = 300,
-                     .calib_context_tokens = 600,
-                     .calib_num_contexts = 2});
+    static Engine e(MakeOptions(300, 600, 2));
     return e;
   }
 };
@@ -162,11 +169,7 @@ TEST_F(ServingTest, TTFTGpuShareAffectsTextMoreThanCacheGen) {
 TEST_F(ServingTest, EngineWithFileStore) {
   const auto dir = std::filesystem::temp_directory_path() / "cachegen_engine_store";
   std::filesystem::remove_all(dir);
-  Engine e({.model_name = "mistral-7b",
-            .chunk_tokens = 200,
-            .calib_context_tokens = 400,
-            .calib_num_contexts = 1},
-           std::make_shared<FileKVStore>(dir));
+  Engine e(MakeOptions(200, 400, 1), std::make_shared<FileKVStore>(dir));
   const ContextSpec ctx{7, 400};
   e.StoreKV("persisted", ctx);
   EXPECT_TRUE(e.store().ContainsContext("persisted"));

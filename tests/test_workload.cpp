@@ -136,5 +136,24 @@ TEST(QoE, Figure16Ordering) {
   EXPECT_GT(cachegen, 3.3);  // Fig. 16 shows ~3.5-4 for CacheGen
 }
 
+TEST(QoE, RefinementBlendsBetweenBaseAndFinal) {
+  const QoEModel qoe;
+  // An instant refinement scores like the final quality, an infinitely late
+  // one like the base; in between the score is monotone in the delay.
+  EXPECT_DOUBLE_EQ(qoe.MosWithRefinement(0.5, 0.85, 0.99, 0.0),
+                   qoe.Mos(0.5, 0.99));
+  EXPECT_NEAR(qoe.MosWithRefinement(0.5, 0.85, 0.99, 1e6), qoe.Mos(0.5, 0.85),
+              1e-9);
+  const double early = qoe.MosWithRefinement(0.5, 0.85, 0.99, 0.2);
+  const double late = qoe.MosWithRefinement(0.5, 0.85, 0.99, 2.0);
+  EXPECT_GT(early, late);
+  EXPECT_GT(early, qoe.Mos(0.5, 0.85));
+  EXPECT_LT(late, qoe.Mos(0.5, 0.99));
+  // Progressive upgrades never score below the base-only stream.
+  EXPECT_GE(late, qoe.Mos(0.5, 0.85) - 1e-12);
+  // No refinement info degenerates to the plain model.
+  EXPECT_DOUBLE_EQ(qoe.MosWithRefinement(1.0, 0.9, 0.9, 0.0), qoe.Mos(1.0, 0.9));
+}
+
 }  // namespace
 }  // namespace cachegen
