@@ -10,6 +10,13 @@ The ratio is current/previous on the same metric, so the gate tracks the
 performance *trajectory* across commits instead of a fixed constant — a slow
 burn of small regressions trips it even when each individual commit would
 pass an absolute threshold.
+
+A missing, empty, or non-JSON PREVIOUS artifact is not a failure: the first
+run on a fresh branch (or after artifact expiry) has no baseline, and the
+gate reports "no baseline" and exits 0. A broken CURRENT artifact is a real
+failure of this run and exits 2.
+
+Exit codes: 0 = pass / no baseline, 1 = regression, 2 = bad current artifact.
 """
 
 import argparse
@@ -17,17 +24,39 @@ import json
 import sys
 
 
-def load_results(path):
+def read_rows(path):
+    """Parse a bench JSON into {(level, tokens, threads): row}.
+
+    Raises OSError / ValueError on unreadable or malformed input; callers
+    decide whether that is fatal.
+    """
     with open(path) as f:
         data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: top-level JSON must be an object")
+    results = data.get("results", [])
+    if not isinstance(results, list):
+        raise ValueError(f"{path}: 'results' must be a list")
     rows = {}
-    for row in data.get("results", []):
+    for row in results:
+        if not isinstance(row, dict):
+            raise ValueError(f"{path}: result rows must be objects")
         key = (row.get("level"), row.get("tokens"), row.get("threads"))
         rows[key] = row
     return rows
 
 
-def main():
+def load_baseline(path):
+    """Previous-run rows, or None when no usable baseline exists."""
+    try:
+        return read_rows(path)
+    except (OSError, ValueError) as err:
+        print(f"no baseline: previous artifact unusable ({err}); "
+              f"skipping trajectory gate")
+        return None
+
+
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("previous", help="BENCH_codec_throughput.json from the last run")
     parser.add_argument("current", help="BENCH_codec_throughput.json from this run")
@@ -35,10 +64,17 @@ def main():
                         help="maximum allowed fractional drop (default 0.15)")
     parser.add_argument("--metric", default="decode_msym_s",
                         help="per-row metric to compare (default decode_msym_s)")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
-    prev = load_results(args.previous)
-    cur = load_results(args.current)
+    prev = load_baseline(args.previous)
+    if prev is None:
+        return 0
+    try:
+        cur = read_rows(args.current)
+    except (OSError, ValueError) as err:
+        print(f"error: current artifact unusable ({err})", file=sys.stderr)
+        return 2
+
     common = sorted(set(prev) & set(cur), key=str)
     if not common:
         print("no overlapping benchmark configurations; skipping trajectory gate")

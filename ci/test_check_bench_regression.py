@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Pytest-free self-test for check_bench_regression.py, invoked from CI.
+
+Covers the baseline-handling contract (missing / empty / non-JSON previous
+artifact must exit 0 with a "no baseline" notice — the first run on a fresh
+branch), the regression trip-wire, and the bad-current-artifact failure.
+Runs with nothing but the standard library: `python3 ci/test_check_bench_regression.py`.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_regression as gate  # noqa: E402
+
+
+def bench_json(decode=100.0, level=1, tokens=256, threads=1):
+    return {"results": [{"level": level, "tokens": tokens, "threads": threads,
+                         "decode_msym_s": decode}]}
+
+
+def run(previous, current, extra=None):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = gate.main([previous, current] + (extra or []))
+    return code, out.getvalue(), err.getvalue()
+
+
+def main():
+    checks = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, content):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as f:
+                f.write(content)
+            return path
+
+        current = write("current.json", json.dumps(bench_json(decode=100.0)))
+
+        # 1. Missing previous artifact -> exit 0, "no baseline".
+        code, out, _ = run(os.path.join(tmp, "nope.json"), current)
+        assert code == 0, f"missing baseline must exit 0, got {code}"
+        assert "no baseline" in out, out
+        checks += 1
+
+        # 2. Empty previous artifact -> exit 0, "no baseline".
+        code, out, _ = run(write("empty.json", ""), current)
+        assert code == 0, f"empty baseline must exit 0, got {code}"
+        assert "no baseline" in out, out
+        checks += 1
+
+        # 3. Non-JSON previous artifact -> exit 0, "no baseline".
+        code, out, _ = run(write("garbage.json", "<html>expired</html>"), current)
+        assert code == 0, f"non-JSON baseline must exit 0, got {code}"
+        assert "no baseline" in out, out
+        checks += 1
+
+        # 4. Valid JSON of the wrong shape -> exit 0, "no baseline".
+        for bad in ("[1, 2, 3]", '{"results": 42}', '{"results": ["x"]}'):
+            code, out, _ = run(write("shape.json", bad), current)
+            assert code == 0, f"wrong-shape baseline must exit 0, got {code}"
+            assert "no baseline" in out, out
+        checks += 1
+
+        # 5. No overlapping configurations -> exit 0.
+        other = write("other.json", json.dumps(bench_json(level=9)))
+        code, out, _ = run(other, current)
+        assert code == 0, f"disjoint configs must exit 0, got {code}"
+        assert "no overlapping" in out, out
+        checks += 1
+
+        # 6. Within tolerance (and improvements) -> exit 0.
+        prev = write("prev_ok.json", json.dumps(bench_json(decode=110.0)))
+        code, out, _ = run(prev, current)  # -9.1% < 15%
+        assert code == 0, f"within-tolerance drop must exit 0, got {code}"
+        assert "OK" in out, out
+        checks += 1
+
+        # 7. Regression beyond tolerance -> exit 1.
+        prev = write("prev_fast.json", json.dumps(bench_json(decode=200.0)))
+        code, out, err = run(prev, current)  # -50%
+        assert code == 1, f"regression must exit 1, got {code}"
+        assert "FAIL" in out and "regressed" in err, (out, err)
+        checks += 1
+
+        # 8. Tighter threshold flips the verdict.
+        prev = write("prev_tight.json", json.dumps(bench_json(decode=110.0)))
+        code, _, _ = run(prev, current, ["--max-regression", "0.05"])
+        assert code == 1, f"tight threshold must exit 1, got {code}"
+        checks += 1
+
+        # 9. Broken CURRENT artifact is a real failure -> exit 2.
+        prev = write("prev_good.json", json.dumps(bench_json(decode=100.0)))
+        code, _, err = run(prev, write("cur_bad.json", "not json"))
+        assert code == 2, f"bad current artifact must exit 2, got {code}"
+        assert "current artifact unusable" in err, err
+        checks += 1
+
+    print(f"check_bench_regression self-test: {checks} checks OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,20 @@
 // Concurrent cluster serving: many user queries against a shared document
-// pool, one storage-to-GPU path, a bounded KV cache tier, and an SLO-aware
-// scheduler — the full CacheGen serving story above the single-request
-// substrate.
+// pool, one storage-to-GPU path, a tiered hot/cold KV cache, and an
+// SLO-aware scheduler — the full CacheGen serving story above the
+// single-request substrate.
 //
 // A Poisson stream of queries hits a 4-worker cluster. Hot documents stream
-// their encoded KV caches (decoded for real via Engine::AssembleKV); cold
-// ones ship text and pay re-prefill, then get written back — possibly
-// evicting another document from the capacity-bounded ShardedKVStore.
+// their encoded KV caches from RAM (decoded for real via Engine::AssembleKV);
+// documents squeezed out of the hot tier are DEMOTED to a persistent cold
+// tier instead of erased, and a later query promotes them back — streamed at
+// KV quality through the cold-read model (seek + device bandwidth) instead
+// of paying a full text re-prefill. Only a document absent from both tiers
+// ships text, re-prefills, and gets written back.
 #include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
 
 #include "cluster/cluster_server.h"
 
@@ -26,43 +33,70 @@ int main() {
   topts.slo_s = 2.5;
   topts.seed = 0xD0C5;
 
-  auto store = std::make_shared<ShardedKVStore>(
-      ShardedKVStore::Options{.num_shards = 4, .capacity_bytes = 0});
+  // Per-process directory so concurrent invocations never share (or delete)
+  // each other's cold tier.
+  const auto cold_root =
+      std::filesystem::temp_directory_path() /
+      ("cachegen_example_cold_tier_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(cold_root);
+
+  TieredKVStore::Options sopts;
+  // A hot tier far below the pool's working set: the cold tier does real work.
+  sopts.hot = {.num_shards = 2, .capacity_bytes = 8ull << 20};
+  sopts.cold_root = cold_root;
+  sopts.cold_capacity_bytes = 0;  // the cheap tier keeps everything
+  auto store = std::make_shared<TieredKVStore>(sopts);
   Engine engine(eopts, store);
 
   ClusterServer::Options copts;
   copts.num_workers = 4;
   copts.policy = SchedulerPolicyKind::kSloDeadlineFirst;
-  copts.assemble_kv = true;  // actually decode the delivered bitstreams
+  copts.assemble_kv = true;      // actually decode the delivered bitstreams
+  copts.cold_read_gbps = 1.25;   // the cold device's per-stream read rate
+  copts.cold_seek_s = 0.015;
   ClusterServer cluster(engine, store, BandwidthTrace::Constant(3.0), copts);
 
-  std::printf("== CacheGen cluster: 4 workers, 3 Gbps shared path, SLO %.1f s ==\n",
-              topts.slo_s);
-  std::printf("pre-storing %zu documents...\n", topts.num_contexts);
+  std::printf(
+      "== CacheGen cluster: 4 workers, 3 Gbps shared path, SLO %.1f s ==\n",
+      topts.slo_s);
+  std::printf("pre-storing %zu documents (hot tier %.0f MB)...\n",
+              topts.num_contexts,
+              static_cast<double>(store->hot().capacity_bytes()) / 1e6);
   cluster.Prestore(topts);
-  std::printf("KV cache tier: %.1f MB across %zu shards\n\n",
-              static_cast<double>(store->TotalBytes()) *
-                  engine.model().size_scale() / 1e6,
-              store->num_shards());
+  {
+    const auto stats = store->stats();
+    std::printf("after pre-store: %.1f MB hot, %.1f MB cold (%llu demotions)\n\n",
+                static_cast<double>(stats.hot_bytes) / 1e6,
+                static_cast<double>(stats.cold_bytes) / 1e6,
+                static_cast<unsigned long long>(stats.demotions));
+  }
 
   const auto outcomes = cluster.Serve(PoissonTrace(topts));
 
   std::printf("%4s %9s %8s %6s %9s %9s %9s %5s\n", "req", "arrive", "doc",
-              "cache", "queue(s)", "TTFT(s)", "quality", "SLO");
+              "tier", "queue(s)", "TTFT(s)", "quality", "SLO");
   for (const RequestOutcome& o : outcomes) {
     std::printf("%4llu %9.2f %8s %6s %9.2f %9.2f %9.3f %5s\n",
                 static_cast<unsigned long long>(o.request.id),
                 o.request.arrival_s, o.request.context_id.c_str(),
-                o.cache_hit ? "hit" : "miss", o.queue_delay_s, o.ttft_s,
-                o.quality, o.slo_violated ? "VIOL" : "ok");
+                o.cold_hit ? "cold" : (o.cache_hit ? "hot" : "miss"),
+                o.queue_delay_s, o.ttft_s, o.quality,
+                o.slo_violated ? "VIOL" : "ok");
   }
 
   const ClusterSummary s = Summarize(outcomes);
   const auto stats = store->stats();
   std::printf("\n%s\n", FormatSummary(s).c_str());
-  std::printf("cache tier: %llu hits, %llu misses, %llu evictions\n",
-              static_cast<unsigned long long>(stats.context_hits),
-              static_cast<unsigned long long>(stats.context_misses),
-              static_cast<unsigned long long>(stats.evictions));
+  std::printf(
+      "cache tier: %llu hot hits, %llu cold hits, %llu misses; "
+      "%llu demotions, %llu promotions\n",
+      static_cast<unsigned long long>(stats.hot_hits),
+      static_cast<unsigned long long>(stats.cold_hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.demotions),
+      static_cast<unsigned long long>(stats.promotions));
+
+  store->Flush();
+  std::filesystem::remove_all(cold_root);
   return 0;
 }

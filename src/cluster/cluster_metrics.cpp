@@ -18,9 +18,10 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
   double first_arrival = outcomes.front().request.arrival_s;
   double last_finish = 0.0;
   double queue_sum = 0.0, qoe_sum = 0.0, quality_sum = 0.0;
+  double effective_quality_sum = 0.0;
   double base_frac_sum = 0.0, enh_frac_sum = 0.0;
   double good_tokens = 0.0;
-  size_t violations = 0, hits = 0;
+  size_t violations = 0, hits = 0, cold_hits = 0;
 
   for (const RequestOutcome& o : outcomes) {
     ttfts.push_back(o.ttft_s);
@@ -40,8 +41,10 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
       ++violations;
     } else {
       good_tokens += static_cast<double>(o.request.spec.num_tokens);
+      effective_quality_sum += o.quality;
     }
     if (o.cache_hit) ++hits;
+    if (o.cold_hit) ++cold_hits;
     s.total_gbytes_sent += o.bytes_sent / 1e9;
   }
 
@@ -57,22 +60,27 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
   s.goodput_tokens_per_s = good_tokens / s.makespan_s;
   s.mean_qoe_mos = qoe_sum / n;
   s.cache_hit_rate = static_cast<double>(hits) / n;
+  s.cold_hit_rate = static_cast<double>(cold_hits) / n;
+  s.hot_hit_rate = static_cast<double>(hits - cold_hits) / n;
+  s.miss_rate = 1.0 - s.cache_hit_rate;
   s.mean_quality = quality_sum / n;
+  s.mean_effective_quality = effective_quality_sum / n;
   s.mean_base_fraction = base_frac_sum / n;
   s.mean_enhanced_fraction = enh_frac_sum / n;
   return s;
 }
 
 std::string FormatSummary(const ClusterSummary& s) {
-  char buf[320];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "n=%zu ttft p50/p95/p99 = %.2f/%.2f/%.2f s, queue %.2f s, "
-                "SLO-viol %.0f%%, goodput %.0f tok/s, QoE %.2f, hit %.0f%%, "
-                "enh %.0f%%",
+                "SLO-viol %.0f%%, goodput %.0f tok/s, QoE %.2f, "
+                "hot/cold/miss %.0f/%.0f/%.0f%%, enh %.0f%%",
                 s.completed, s.p50_ttft_s, s.p95_ttft_s, s.p99_ttft_s,
                 s.mean_queue_delay_s, 100.0 * s.slo_violation_rate,
                 s.goodput_tokens_per_s, s.mean_qoe_mos,
-                100.0 * s.cache_hit_rate, 100.0 * s.mean_enhanced_fraction);
+                100.0 * s.hot_hit_rate, 100.0 * s.cold_hit_rate,
+                100.0 * s.miss_rate, 100.0 * s.mean_enhanced_fraction);
   return buf;
 }
 

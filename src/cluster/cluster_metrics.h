@@ -22,7 +22,8 @@ struct RequestOutcome {
   double ttft_s = 0.0;         // user-perceived: queue + load + prompt pass
   double finish_s = 0.0;       // absolute completion instant
   bool slo_violated = false;   // queue + load delay vs the request SLO
-  bool cache_hit = false;
+  bool cache_hit = false;      // hot OR cold tier (never true with forced_text)
+  bool cold_hit = false;       // served by promoting the cold tier
   bool forced_text = false;    // miss path: full text + re-prefill
   double quality = 1.0;        // composed streaming quality factor
   double bytes_sent = 0.0;
@@ -47,8 +48,17 @@ struct ClusterSummary {
   double slo_violation_rate = 0.0;
   double goodput_tokens_per_s = 0.0;  // context tokens of SLO-met requests / makespan
   double mean_qoe_mos = 0.0;          // QoE model over (ttft, quality)
-  double cache_hit_rate = 0.0;        // over served requests
+  double cache_hit_rate = 0.0;        // hot + cold, over served requests
+  // Tiered-storage breakdown: which tier answered (sums to 1 with miss_rate;
+  // hot_hit_rate == cache_hit_rate on non-tiered runs).
+  double hot_hit_rate = 0.0;
+  double cold_hit_rate = 0.0;
+  double miss_rate = 0.0;
   double mean_quality = 0.0;
+  // Mean quality with SLO-violating requests scored 0 — the QoE-style
+  // "useful quality" a tiered cold hit buys over an evict-to-miss recompute
+  // (a lossless text recompute that blows the deadline helps nobody).
+  double mean_effective_quality = 0.0;
   double total_gbytes_sent = 0.0;
   // Progressive delivery: mean token fractions at base-only vs enhanced
   // quality (0 on non-progressive runs, where no chunk is layered).

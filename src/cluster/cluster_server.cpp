@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "codec/encoding_level.h"
+#include "storage/pin_guard.h"
 #include "streamer/streamer.h"
 
 namespace cachegen {
@@ -33,10 +34,37 @@ ClusterServer::ClusterServer(Engine& engine, std::shared_ptr<ShardedKVStore> sto
   }
 }
 
+ClusterServer::ClusterServer(Engine& engine, std::shared_ptr<TieredKVStore> store,
+                             BandwidthTrace capacity, Options opts)
+    : engine_(engine),
+      tiered_(std::move(store)),
+      capacity_(std::move(capacity)),
+      opts_(opts) {
+  if (opts_.num_workers == 0) {
+    throw std::invalid_argument("ClusterServer: need at least one worker");
+  }
+  if (!tiered_ || &engine_.store() != static_cast<KVStore*>(tiered_.get())) {
+    throw std::invalid_argument(
+        "ClusterServer: engine must be constructed with the cluster's "
+        "TieredKVStore");
+  }
+  if (!(opts_.cold_read_gbps > 0.0)) {
+    throw std::invalid_argument("ClusterServer: cold_read_gbps must be > 0");
+  }
+}
+
+KVTier ClusterServer::Lookup(const std::string& context_id, double t_s) {
+  if (tiered_) return tiered_->LookupAndPin(context_id, t_s);
+  return store_->LookupAndPin(context_id, t_s) ? KVTier::kHot : KVTier::kMiss;
+}
+
 void ClusterServer::Prestore(const RequestTraceOptions& trace_opts) {
   for (size_t i = 0; i < trace_opts.num_contexts; ++i) {
     engine_.StoreKV(PoolContextId(i), PoolContextSpec(trace_opts, i));
   }
+  // Make the cold tier's on-disk state deterministic before serving starts
+  // (pre-store overflow demotes through the background writer).
+  if (tiered_) tiered_->Flush();
 }
 
 std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> trace) {
@@ -126,6 +154,11 @@ std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> tra
   }
 
   for (std::thread& t : threads) t.join();
+  // Drain the cold tier's background writer so pending demotion buffers
+  // (which hold evicted bitstreams in RAM, and — with no pool workers —
+  // would otherwise never persist) are bounded per trace, and the on-disk
+  // state is settled before the caller inspects it.
+  if (tiered_) tiered_->Flush();
   std::sort(outcomes.begin(), outcomes.end(),
             [](const RequestOutcome& a, const RequestOutcome& b) {
               return a.request.id < b.request.id;
@@ -141,7 +174,13 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   // Our unparked flow now freezes virtual time; the admission hold can go.
   link_->ReleaseHold(admit_hold);
 
-  const bool hit = store_->LookupAndPin(rq.context_id, admit_s);
+  const KVTier tier = Lookup(rq.context_id, admit_s);
+  const bool hit = tier != KVTier::kMiss;
+  const bool cold = tier == KVTier::kCold;
+  // A hit's pin (taken by LookupAndPin, hot or promoted-cold alike) is owned
+  // by a guard: no exit path — including an exception — can leak it and
+  // permanently shrink the evictable capacity.
+  PinGuard pin = hit ? PinGuard::Adopt(pin_store(), rq.context_id) : PinGuard();
 
   const ContextPlan plan = engine_.PlanFromCalibration(rq.spec.num_tokens);
   const double slo = rq.slo_s;  // resolved against the default in Serve()
@@ -154,15 +193,25 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   // First-chunk prior: assume the path splits as many ways as the GPU does.
   // gpu_share comes from the coordinator's in-flight count at admission, so
   // the hint is deterministic (SharedLink::ActiveFlows() would race with
-  // peers still registering in wall-clock time).
-  const double hint = opts_.throughput_hint_gbps.value_or(
+  // peers still registering in wall-clock time). A cold hit's hint is capped
+  // at the cold device's read rate so the very first chunk is already picked
+  // for the slower path.
+  double hint = opts_.throughput_hint_gbps.value_or(
       link_->CapacityGbpsAt(admit_s) * gpu_share);
+  if (cold) hint = std::min(hint, opts_.cold_read_gbps);
 
   const StreamMode mode =
       hit ? (opts_.progressive ? StreamMode::kProgressive : StreamMode::kAdaptive)
           : StreamMode::kForceText;
   ClientLink client(*link_, flow);
-  const StreamResult sr = streamer.Stream(plan, client, gpu_share, hint, mode);
+  // Cold hits stream through the cold-read model: throughput bounded by the
+  // device, first byte delayed by the seek. SLO accounting needs no special
+  // casing — the slower timeline simply is the stream's timeline. Built only
+  // on the cold path (cold implies the tiered ctor validated cold_read_gbps).
+  std::optional<ThrottledLink> cold_client;
+  if (cold) cold_client.emplace(client, opts_.cold_read_gbps, opts_.cold_seek_s);
+  Link& path = cold ? static_cast<Link&>(*cold_client) : client;
+  const StreamResult sr = streamer.Stream(plan, path, gpu_share, hint, mode);
 
   // The worker (and its link flow) stays occupied through the enhancement
   // pass, which overlaps the prompt pass that runs right after load_finish;
@@ -180,7 +229,8 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   out.finish_s = free_s;
   out.slo_violated = queue_delay + sr.load_finish_s > slo + 1e-12;
   out.cache_hit = hit;
-  out.forced_text = !hit;
+  out.cold_hit = cold;
+  out.forced_text = !hit;  // a cold hit streams KV — never forced_text
   out.quality = sr.quality;
   out.bytes_sent = sr.bytes_sent;
   out.base_quality = sr.base_quality;
@@ -195,15 +245,25 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   // this completion sees a settled cache tier — hit/miss outcomes stay
   // reproducible instead of racing in wall-clock time.
   if (!hit && opts_.write_back_on_miss) {
-    store_->Pin(rq.context_id);  // survive concurrent evictions mid-write
-    engine_.StoreKV(rq.context_id, rq.spec);
-    // Put() cannot know virtual time; stamp recency here or the fresh
-    // write-back would be the LRU victim.
-    store_->Touch(rq.context_id, free_s);
-    store_->Unpin(rq.context_id);
+    // Guard, not a bare Pin/Unpin pair: StoreKV throwing (full disk, failing
+    // backend) used to leave the context pinned forever — unevictable dead
+    // capacity. The write-back itself is best-effort: on failure the context
+    // simply stays uncached and the worker carries on.
+    PinGuard write_pin = PinGuard::Acquire(pin_store(), rq.context_id);
+    try {
+      engine_.StoreKV(rq.context_id, rq.spec);
+      // Put() cannot know virtual time; stamp recency here or the fresh
+      // write-back would be the LRU victim.
+      pin_store().Touch(rq.context_id, free_s);
+    } catch (const std::exception&) {
+      // Nothing to clean up: StoreKV persists through PutBatch, which rolls
+      // a failed insert of a previously-absent context back entirely — no
+      // half-written context is ever visible. The context simply stays
+      // uncached (and the guard drops the pin).
+    }
   }
   const bool keep_pin_for_assembly = hit && opts_.assemble_kv;
-  if (hit && !keep_pin_for_assembly) store_->Unpin(rq.context_id);
+  if (hit && !keep_pin_for_assembly) pin.Release();
   link_->CompleteFlow(flow, free_s, PackPayload(worker, slot));
 
   // Below here only read-only (or pin-release) work remains; it runs after
@@ -226,7 +286,7 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
       // capacity pressure; the text path would recompute it (already
       // priced into the streaming timeline as the coarsest outcome).
     }
-    store_->Unpin(rq.context_id);
+    pin.Release();
   }
 
   out.answer_correct = engine_.GenerateWithKV(rq.spec, sr.quality).correct;

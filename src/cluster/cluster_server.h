@@ -18,7 +18,12 @@
 // Cache behavior: a request whose context is resident (LookupAndPin hit)
 // streams encoded KV; a miss ships the raw text and pays full re-prefill
 // (StreamMode::kForceText), then optionally writes the KV back, evicting
-// cold contexts when the tier is over capacity.
+// cold contexts when the tier is over capacity. With a TieredKVStore the
+// lookup has a THIRD outcome: a context demoted to the cold tier is promoted
+// back and streamed at KV quality, priced through a ThrottledLink that
+// models the cold device's read bandwidth (Options::cold_read_gbps) and
+// first-byte seek (Options::cold_seek_s) — losing the hot tier costs
+// latency, not a full re-prefill.
 //
 // Determinism: streaming timelines, admission order, and all latency
 // metrics depend only on (trace, options) — virtual time is advanced by
@@ -43,6 +48,7 @@
 #include "net/bandwidth_trace.h"
 #include "serving/engine.h"
 #include "storage/sharded_kv_store.h"
+#include "storage/tiered_kv_store.h"
 
 namespace cachegen {
 
@@ -66,12 +72,24 @@ class ClusterServer {
     // First-chunk throughput prior handed to the streamer; defaults to the
     // aggregate capacity divided by the number of in-flight streams.
     std::optional<double> throughput_hint_gbps;
+    // Cold-tier read model, charged on cold hits (tiered store only): the
+    // cold device's per-stream read bandwidth caps the stream's effective
+    // throughput (and the first-chunk hint), and the seek penalty delays the
+    // first byte. Defaults model a shared HDD/object-store read path that is
+    // slower than the 3 Gbps network but far cheaper than a re-prefill.
+    double cold_read_gbps = 1.25;
+    double cold_seek_s = 0.015;
   };
 
   // `store` must be the same object `engine` was constructed with — the
   // cluster pins/evicts through the sharded interface while the engine
   // reads and writes chunks through KVStore.
   ClusterServer(Engine& engine, std::shared_ptr<ShardedKVStore> store,
+                BandwidthTrace capacity, Options opts);
+
+  // Tiered-store path: hot hits stream from RAM, cold hits are promoted and
+  // streamed through the cold-read model, misses recompute from text.
+  ClusterServer(Engine& engine, std::shared_ptr<TieredKVStore> store,
                 BandwidthTrace capacity, Options opts);
 
   // Serve a whole trace to completion; returns one outcome per request,
@@ -83,7 +101,12 @@ class ClusterServer {
   void Prestore(const RequestTraceOptions& trace_opts);
 
   const Options& options() const { return opts_; }
-  const ShardedKVStore& store() const { return *store_; }
+  // The hot/sharded tier (the whole store on non-tiered runs).
+  const ShardedKVStore& store() const {
+    return tiered_ ? tiered_->hot() : *store_;
+  }
+  // Null unless constructed with a TieredKVStore.
+  const TieredKVStore* tiered_store() const { return tiered_.get(); }
   // Link of the last Serve() run (null before the first run).
   const SharedLink* link() const { return link_.get(); }
 
@@ -92,8 +115,13 @@ class ClusterServer {
                 SharedLink::HoldId admit_hold, double gpu_share,
                 std::vector<RequestOutcome>* outcomes);
 
+  // The tier that pins are held against (the hot tier on tiered runs).
+  ShardedKVStore& pin_store() { return tiered_ ? tiered_->hot() : *store_; }
+  KVTier Lookup(const std::string& context_id, double t_s);
+
   Engine& engine_;
-  std::shared_ptr<ShardedKVStore> store_;
+  std::shared_ptr<ShardedKVStore> store_;   // null on tiered runs
+  std::shared_ptr<TieredKVStore> tiered_;   // null on sharded runs
   BandwidthTrace capacity_;
   Options opts_;
   std::unique_ptr<SharedLink> link_;

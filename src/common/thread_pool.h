@@ -46,6 +46,14 @@ class ThreadPool {
   void Run(size_t n, const std::function<void(size_t)>& fn,
            unsigned max_participants = 0);
 
+  // Fire-and-forget: run fn on a background worker as soon as one frees up
+  // and return immediately. There is no joiner, so exceptions escaping fn
+  // are swallowed — callers that care must catch inside fn. With no
+  // background workers (single-core pool / CACHEGEN_THREADS=1) fn runs
+  // inline on the calling thread instead, so Submit never silently drops
+  // work. Used by the tiered KV store's background demotion writer.
+  void Submit(std::function<void()> fn);
+
   // Total concurrent executors the pool targets (background workers + the
   // calling thread).
   unsigned size() const { return pool_size_; }

@@ -54,4 +54,27 @@ class Link {
   double now_s_;
 };
 
+// ThrottledLink: a read-bandwidth-bounded source feeding an inner link — the
+// cold-storage read path of a tiered KV store. Each Send's completion is the
+// later of the network transfer (inner link, fair-shared under contention)
+// and a modeled device read at `read_gbps`; the first Send additionally
+// waits `first_byte_delay_s` (seek / open). Because the streamer measures
+// throughput from the returned records, adaptation automatically sees
+// min(network share, cold read rate) and picks coarser levels on cold hits.
+class ThrottledLink final : public Link {
+ public:
+  ThrottledLink(Link& inner, double read_gbps, double first_byte_delay_s = 0.0);
+
+  TransferRecord Send(double bytes) override;
+  void AdvanceTo(double t_s) override { inner_.AdvanceTo(t_s); }
+  double now() const override { return inner_.now(); }
+  double CurrentGbps() const override;
+
+ private:
+  Link& inner_;
+  double read_gbps_;
+  double first_byte_delay_s_;
+  bool first_send_done_ = false;
+};
+
 }  // namespace cachegen

@@ -8,6 +8,24 @@
 
 namespace cachegen {
 
+namespace {
+
+// Persist one context's freshly encoded chunks in a single PutBatch, so the
+// store can make the whole context visible atomically (a concurrent lookup
+// or a mid-write failure never observes a half-written context).
+void PutEncodedBatch(
+    KVStore& store, const std::string& context_id,
+    const std::vector<std::pair<ChunkKey, std::vector<uint8_t>>>& encoded) {
+  std::vector<ChunkView> views;
+  views.reserve(encoded.size());
+  for (const auto& [key, bytes] : encoded) {
+    views.emplace_back(key, std::span<const uint8_t>(bytes));
+  }
+  store.PutBatch(context_id, views);
+}
+
+}  // namespace
+
 Engine::Engine(Options opts, std::shared_ptr<KVStore> store)
     : opts_(std::move(opts)),
       model_(ModelConfig::Preset(opts_.model_name)),
@@ -69,6 +87,15 @@ ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ct
   const bool layered = !plan.quality_enhanced_per_level.empty();
   plan.chunks.reserve(ranges.size());
 
+  // Encode everything first, persist in one PutBatch at the end: the store
+  // makes the whole context visible atomically, so a concurrent lookup (or a
+  // mid-write failure) never observes a half-written context. Deliberate
+  // trade: the full encoded context (~1.5 KB/token across the ladder) sits
+  // in memory until the batch lands — it buys atomicity exactly on the
+  // concurrent sharded/tiered stores the cluster serves from; plain
+  // Memory/File stores just run the base class's Put loop.
+  std::vector<std::pair<ChunkKey, std::vector<uint8_t>>> encoded;
+  encoded.reserve(ranges.size() * levels.size());
   for (size_t i = 0; i < ranges.size(); ++i) {
     const KVCache chunk_kv = cache.SliceTokens(ranges[i].begin, ranges[i].end);
     ChunkPlan cp;
@@ -78,8 +105,9 @@ ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ct
     for (size_t lv = 0; lv < levels.size(); ++lv) {
       const EncodedChunk enc = encoders_[lv]->EncodeChunk(
           chunk_kv, static_cast<uint32_t>(i), ranges[i].begin);
-      const std::vector<uint8_t> bytes = SerializeChunk(enc);
-      store_->Put({context_id, static_cast<uint32_t>(i), levels[lv].id}, bytes);
+      encoded.emplace_back(
+          ChunkKey{context_id, static_cast<uint32_t>(i), levels[lv].id},
+          SerializeChunk(enc));
       cp.bytes_per_level[lv] =
           static_cast<double>(enc.WireBytes()) * model_.size_scale();
       if (layered) {
@@ -90,6 +118,7 @@ ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ct
     }
     plan.chunks.push_back(std::move(cp));
   }
+  PutEncodedBatch(*store_, context_id, encoded);
   return plan;
 }
 
@@ -105,13 +134,17 @@ void Engine::StoreLayeredKV(const std::string& context_id, const ContextSpec& ct
   const KVCache cache = CalculateKV(ctx);
   const LayeredEncoder& codec = LayeredFor(base_level);
   const auto ranges = SplitIntoChunks(ctx.num_tokens, opts_.chunk_tokens);
+  std::vector<std::pair<ChunkKey, std::vector<uint8_t>>> encoded;
+  encoded.reserve(ranges.size());
   for (size_t i = 0; i < ranges.size(); ++i) {
     const KVCache chunk_kv = cache.SliceTokens(ranges[i].begin, ranges[i].end);
     const LayeredChunk lc =
         codec.Encode(chunk_kv, static_cast<uint32_t>(i), ranges[i].begin);
-    store_->Put({context_id, static_cast<uint32_t>(i), LayeredLevelKey(base_level)},
-                SerializeLayeredChunk(lc));
+    encoded.emplace_back(
+        ChunkKey{context_id, static_cast<uint32_t>(i), LayeredLevelKey(base_level)},
+        SerializeLayeredChunk(lc));
   }
+  PutEncodedBatch(*store_, context_id, encoded);
 }
 
 std::optional<LayeredChunk> Engine::GetLayeredKV(const std::string& context_id,

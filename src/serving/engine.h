@@ -45,6 +45,10 @@ class Engine {
     size_t layered_calib_tokens = 512;
   };
 
+  // `store` is any KVStore implementation: MemoryKVStore (default),
+  // FileKVStore, the cluster's ShardedKVStore, or a TieredKVStore — the
+  // tiered path gives store_kv/get_kv a hot-RAM/cold-disk hierarchy with
+  // the cluster pinning/promoting through the tiered interface.
   Engine() : Engine(Options{}) {}
   explicit Engine(Options opts, std::shared_ptr<KVStore> store = nullptr);
 

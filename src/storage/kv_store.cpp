@@ -1,6 +1,7 @@
 #include "storage/kv_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -54,6 +55,16 @@ std::string SanitizeContextId(const std::string& context_id) {
   // '%' is not in the pass-through alphabet, so no safe id can ever forge a
   // mangled name and collide with a different mangled id.
   return cleaned + "%" + hash;
+}
+
+void KVStore::PutBatch(const std::string& context_id,
+                       std::span<const ChunkView> chunks) {
+  for (const auto& [key, bytes] : chunks) {
+    if (key.context_id != context_id) {
+      throw std::invalid_argument("KVStore::PutBatch: key names a different context");
+    }
+    Put(key, bytes);
+  }
 }
 
 void MemoryKVStore::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
@@ -112,10 +123,43 @@ fs::path FileKVStore::PathFor(const ChunkKey& key) const {
 void FileKVStore::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
   const fs::path p = PathFor(key);
   fs::create_directories(p.parent_path());
-  std::ofstream out(p, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("FileKVStore: cannot write " + p.string());
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
+  // Write to a uniquely named temp file, verify the stream after write+close,
+  // then rename into place: a short write (ENOSPC, quota, I/O error) throws
+  // here instead of surfacing later as a corrupt-bitstream decode error, and
+  // a crash mid-Put never leaves a truncated chunk visible under the final
+  // name (rename is atomic on POSIX). The unique suffix keeps concurrent
+  // writers of the same key from interleaving inside one temp file; byte
+  // accounting skips anything that is not a finished ".cgkv" file.
+  static std::atomic<uint64_t> tmp_counter{0};
+  const fs::path tmp =
+      p.parent_path() /
+      (p.filename().string() + ".tmp" +
+       std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed)));
+  const auto discard_tmp = [&tmp] {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+  };
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("FileKVStore: cannot open " + tmp.string());
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    out.close();
+    if (out.fail()) {
+      discard_tmp();
+      throw std::runtime_error("FileKVStore: short write to " + p.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, p, ec);
+  if (ec) {
+    discard_tmp();
+    throw std::runtime_error("FileKVStore: cannot rename " + tmp.string() +
+                             " -> " + p.string() + ": " + ec.message());
+  }
 }
 
 std::optional<std::vector<uint8_t>> FileKVStore::Get(const ChunkKey& key) const {
@@ -142,7 +186,11 @@ uint64_t FileKVStore::TotalBytes() const {
   uint64_t n = 0;
   if (!fs::exists(root_)) return 0;
   for (const auto& entry : fs::recursive_directory_iterator(root_)) {
-    if (entry.is_regular_file()) n += entry.file_size();
+    // Count only committed chunks: a ".tmp*" file is an in-flight (or
+    // crashed) Put and is never visible through Get.
+    if (entry.is_regular_file() && entry.path().extension() == ".cgkv") {
+      n += entry.file_size();
+    }
   }
   return n;
 }
@@ -152,7 +200,9 @@ uint64_t FileKVStore::ContextBytes(const std::string& context_id) const {
   const fs::path dir = DirFor(context_id);
   if (!fs::exists(dir)) return 0;
   for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-    if (entry.is_regular_file()) n += entry.file_size();
+    if (entry.is_regular_file() && entry.path().extension() == ".cgkv") {
+      n += entry.file_size();
+    }
   }
   return n;
 }

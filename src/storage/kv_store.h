@@ -42,11 +42,23 @@ struct ChunkKey {
   auto operator<=>(const ChunkKey&) const = default;
 };
 
+// One chunk handed to KVStore::PutBatch: a key plus a view of its serialized
+// bytes (the caller keeps the bytes alive for the duration of the call).
+using ChunkView = std::pair<ChunkKey, std::span<const uint8_t>>;
+
 class KVStore {
  public:
   virtual ~KVStore() = default;
 
   virtual void Put(const ChunkKey& key, std::span<const uint8_t> bytes) = 0;
+
+  // Store every chunk of one context (all keys must name `context_id`).
+  // The base implementation is a plain Put loop; ShardedKVStore overrides it
+  // to make the whole context visible atomically — Engine::StoreKV persists
+  // through this so a concurrent lookup never hits a half-written context.
+  virtual void PutBatch(const std::string& context_id,
+                        std::span<const ChunkView> chunks);
+
   virtual std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const = 0;
   virtual bool ContainsContext(const std::string& context_id) const = 0;
   virtual void EraseContext(const std::string& context_id) = 0;

@@ -1,0 +1,71 @@
+// PinGuard: RAII ownership of one ShardedKVStore context pin.
+//
+// The cluster's serving path pins a context while it is being streamed,
+// assembled, or written back. A bare Pin()/Unpin() pair leaks the pin when
+// anything between them throws (e.g. Engine::StoreKV failing mid write-back)
+// — and a leaked pin is permanent: the context can never be evicted again,
+// silently shrinking the effective cache capacity. PinGuard ties the unpin
+// to scope exit; Release() drops it early when ordering matters (e.g. before
+// handing a worker slot back to the coordinator).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "storage/sharded_kv_store.h"
+
+namespace cachegen {
+
+class PinGuard {
+ public:
+  // Inactive guard: releases nothing. Useful as the "no pin held" state.
+  PinGuard() = default;
+
+  // Take a fresh pin (write-back path: pin regardless of presence).
+  static PinGuard Acquire(ShardedKVStore& store, std::string context_id) {
+    store.Pin(context_id);
+    return PinGuard(&store, std::move(context_id));
+  }
+
+  // Adopt a pin some other call already took (LookupAndPin hit path).
+  static PinGuard Adopt(ShardedKVStore& store, std::string context_id) {
+    return PinGuard(&store, std::move(context_id));
+  }
+
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+
+  PinGuard(PinGuard&& other) noexcept
+      : store_(std::exchange(other.store_, nullptr)),
+        context_id_(std::move(other.context_id_)) {}
+
+  PinGuard& operator=(PinGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      store_ = std::exchange(other.store_, nullptr);
+      context_id_ = std::move(other.context_id_);
+    }
+    return *this;
+  }
+
+  ~PinGuard() { Release(); }
+
+  // Drop the pin now (idempotent); the destructor becomes a no-op.
+  void Release() {
+    if (store_ != nullptr) {
+      store_->Unpin(context_id_);
+      store_ = nullptr;
+    }
+  }
+
+  bool active() const { return store_ != nullptr; }
+
+ private:
+  PinGuard(ShardedKVStore* store, std::string context_id)
+      : store_(store), context_id_(std::move(context_id)) {}
+
+  ShardedKVStore* store_ = nullptr;
+  std::string context_id_;
+};
+
+}  // namespace cachegen

@@ -53,28 +53,94 @@ void ShardedKVStore::EnforceCapacityLocked(Shard& shard, const std::string* keep
     }
     if (!victim) return;  // everything left is pinned or the context being written
     const uint64_t freed = victim_meta->bytes;
+    // Demotion hand-off: gather the victim's bitstreams before they are
+    // erased. The gather is memory-to-memory for the default backend; the
+    // sink contract is enqueue-only, so the shard lock is never held across
+    // disk I/O. If any chunk cannot be read back (a failing file backend),
+    // the demotion is abandoned — handing a silently incomplete context to
+    // the cold tier would resurface later as a corrupt promotion, far from
+    // the cause — and the eviction proceeds as a plain erase.
+    bool demote = false;
+    EvictedContext evicted;
+    if (eviction_sink_) {
+      evicted.context_id = *victim;
+      evicted.last_touch_s = victim_meta->last_touch_s;
+      evicted.bytes = freed;
+      evicted.chunks.reserve(victim_meta->chunk_bytes.size());
+      // Nothing to preserve for a chunkless placeholder.
+      demote = !victim_meta->chunk_bytes.empty();
+      for (const auto& [chunk_id, size] : victim_meta->chunk_bytes) {
+        ChunkKey key{*victim, chunk_id.first, chunk_id.second};
+        auto bytes = shard.backend->Get(key);
+        if (!bytes) {
+          demote = false;
+          break;
+        }
+        evicted.chunks.emplace_back(std::move(key), std::move(*bytes));
+      }
+    }
     shard.backend->EraseContext(*victim);
     shard.bytes -= freed;
     shard.contexts.erase(*victim);
+    if (demote) eviction_sink_(std::move(evicted));
     evictions_.fetch_add(1, std::memory_order_relaxed);
     evicted_bytes_.fetch_add(freed, std::memory_order_relaxed);
   }
 }
 
 void ShardedKVStore::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
-  Shard& shard = ShardFor(key.context_id);
+  const ChunkView one{key, bytes};
+  PutBatch(key.context_id, std::span<const ChunkView>(&one, 1));
+}
+
+void ShardedKVStore::PutBatch(const std::string& context_id,
+                              std::span<const ChunkView> chunks) {
+  Shard& shard = ShardFor(context_id);
   std::lock_guard lock(shard.mu);
-  ContextMeta& meta = shard.contexts[key.context_id];
-  const auto chunk_id = std::make_pair(key.chunk_index, key.level_id);
-  const auto it = meta.chunk_bytes.find(chunk_id);
-  const uint64_t old_size = it == meta.chunk_bytes.end() ? 0 : it->second;
-  shard.backend->Put(key, bytes);
-  meta.chunk_bytes[chunk_id] = static_cast<uint32_t>(bytes.size());
-  meta.bytes += bytes.size() - old_size;
-  shard.bytes += bytes.size() - old_size;
-  // No recency update here: Put has no virtual-time source. Writers stamp
-  // recency via Touch()/LookupAndPin() with cluster time.
-  EnforceCapacityLocked(shard, &key.context_id);
+  const auto [ctx_it, inserted] = shard.contexts.try_emplace(context_id);
+  ContextMeta& meta = ctx_it->second;
+  const bool was_absent = meta.chunk_bytes.empty();
+  try {
+    for (const auto& [key, bytes] : chunks) {
+      if (key.context_id != context_id) {
+        throw std::invalid_argument(
+            "ShardedKVStore::PutBatch: key names a different context");
+      }
+      const auto chunk_id = std::make_pair(key.chunk_index, key.level_id);
+      const auto it = meta.chunk_bytes.find(chunk_id);
+      const uint64_t old_size = it == meta.chunk_bytes.end() ? 0 : it->second;
+      shard.backend->Put(key, bytes);
+      meta.chunk_bytes[chunk_id] = static_cast<uint32_t>(bytes.size());
+      meta.bytes += bytes.size() - old_size;
+      shard.bytes += bytes.size() - old_size;
+    }
+  } catch (...) {
+    // A previously-absent context never becomes visible half-populated
+    // (LookupAndPin is serialized against us by the shard lock): undo the
+    // partial insert entirely. Metadata is cleared FIRST and the backend
+    // erase may itself fail (same sick disk) — stray backend files are
+    // merely orphaned bytes, while stray metadata would be a half-written
+    // context reported as a hit. A concurrently pinned placeholder survives
+    // pin-only — invisible to lookups, dropped on the final Unpin. A
+    // failing OVERWRITE keeps the chunks that landed, with consistent
+    // accounting.
+    if (was_absent && !meta.chunk_bytes.empty()) {
+      shard.bytes -= meta.bytes;
+      meta.bytes = 0;
+      meta.chunk_bytes.clear();
+      try {
+        shard.backend->EraseContext(context_id);
+      } catch (...) {
+      }
+    }
+    if (inserted && meta.chunk_bytes.empty() && meta.pins == 0) {
+      shard.contexts.erase(ctx_it);
+    }
+    throw;
+  }
+  // No recency update here: PutBatch has no virtual-time source. Writers
+  // stamp recency via Touch()/LookupAndPin() with cluster time.
+  EnforceCapacityLocked(shard, &context_id);
 }
 
 std::optional<std::vector<uint8_t>> ShardedKVStore::Get(const ChunkKey& key) const {

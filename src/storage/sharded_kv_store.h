@@ -49,11 +49,46 @@ class ShardedKVStore final : public KVStore {
 
   using BackendFactory = std::function<std::unique_ptr<KVStore>(size_t shard)>;
 
+  // A context removed by capacity eviction, bytes included, handed to the
+  // eviction sink so a tiered wrapper can demote it instead of losing it.
+  struct EvictedContext {
+    std::string context_id;
+    double last_touch_s = 0.0;  // LRU stamp at eviction time
+    uint64_t bytes = 0;
+    std::vector<std::pair<ChunkKey, std::vector<uint8_t>>> chunks;
+  };
+
+  // Invoked for every capacity eviction (never for explicit EraseContext),
+  // while the owning shard's lock is held — the sink must only hand the data
+  // off (enqueue/buffer), never touch this store or block on I/O. Install
+  // before the store sees concurrent traffic; the setter is not synchronized.
+  using EvictionSink = std::function<void(EvictedContext&&)>;
+  void set_eviction_sink(EvictionSink sink) { eviction_sink_ = std::move(sink); }
+
   // Default backend: one MemoryKVStore per shard.
   explicit ShardedKVStore(Options opts, BackendFactory factory = nullptr);
 
   // --- KVStore interface (each call locks exactly one shard) ---------------
   void Put(const ChunkKey& key, std::span<const uint8_t> bytes) override;
+
+  // Every chunk of one context under a single shard-lock hold, so the
+  // context becomes visible to concurrent LookupAndPin calls atomically —
+  // absent or complete, never half-populated (Engine write-backs and the
+  // tiered store's promotion rely on this). If the context had no chunks
+  // before the call, a backend failure rolls the insert back entirely (a
+  // pinned placeholder survives as pin-only); a failing overwrite of an
+  // existing context keeps the chunks that landed, with consistent
+  // accounting. Capacity is enforced once after the inserts, keeping this
+  // context. Put() is the one-chunk special case of this.
+  //
+  // Trade-off, by design: the shard lock is held across every backend write,
+  // so a whole-context write-back on a FILE-backed shard serializes that
+  // shard behind disk I/O for the duration. Staging the files outside the
+  // lock would let Get() observe chunks of a context that does not exist
+  // yet and reopen the partial-failure cleanup races this call closes;
+  // the memory-backed default holds the lock only for memcpys.
+  void PutBatch(const std::string& context_id,
+                std::span<const ChunkView> chunks) override;
   std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const override;
   bool ContainsContext(const std::string& context_id) const override;
   void EraseContext(const std::string& context_id) override;
@@ -106,6 +141,7 @@ class ShardedKVStore final : public KVStore {
 
   Options opts_;
   uint64_t shard_capacity_ = 0;
+  EvictionSink eviction_sink_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};

@@ -1,0 +1,589 @@
+#include "storage/tiered_kv_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+
+namespace cachegen {
+
+namespace fs = std::filesystem;
+
+namespace {
+// Written into a context's cold directory after its last chunk committed.
+// Each chunk file is atomic on its own (temp + rename), but only this marker
+// makes the CONTEXT complete: restart adoption refuses directories without
+// it, so a crash mid-persist can never resurrect a partial chunk set. Not a
+// ".cgkv" file, so byte accounting and chunk parsing both ignore it.
+constexpr const char kColdCompleteSentinel[] = "COMPLETE";
+}  // namespace
+
+TieredKVStore::TieredKVStore(Options opts,
+                             ShardedKVStore::BackendFactory hot_factory)
+    : opts_(std::move(opts)) {
+  if (opts_.cold_root.empty()) {
+    throw std::invalid_argument("TieredKVStore: cold_root is required");
+  }
+  hot_ = std::make_unique<ShardedKVStore>(opts_.hot, std::move(hot_factory));
+  cold_backend_ = std::make_unique<FileKVStore>(opts_.cold_root);
+  AdoptPersistedColdContexts();
+  // Installed last: no eviction can fire before the store is fully built.
+  hot_->set_eviction_sink([this](ShardedKVStore::EvictedContext&& victim) {
+    OnHotEviction(std::move(victim));
+  });
+}
+
+TieredKVStore::~TieredKVStore() {
+  // Drain the background writer before members die: every queued job holds
+  // `this`.
+  Flush();
+}
+
+void TieredKVStore::AdoptPersistedColdContexts() {
+  if (!fs::exists(opts_.cold_root)) return;
+  std::vector<std::string> erase_ids;
+  {
+    std::lock_guard<std::mutex> lock(cold_mu_);
+    for (const auto& dir : fs::directory_iterator(opts_.cold_root)) {
+      if (!dir.is_directory()) continue;
+      // No completion sentinel: the writer died between chunk commits (or
+      // before any). The subset must never be served; reclaim it now — the
+      // constructor runs single-threaded, so inline I/O is fine.
+      if (!fs::exists(dir.path() / kColdCompleteSentinel)) {
+        std::error_code ec;
+        fs::remove_all(dir.path(), ec);
+        continue;
+      }
+      const std::string id = dir.path().filename().string();
+      // Only pass-through-safe directory names round-trip back to context
+      // ids; '%'-mangled names hash one way and stay orphaned until a
+      // persistent manifest exists (ROADMAP).
+      if (SanitizeContextId(id) != id) continue;
+      auto entry = std::make_shared<ColdEntry>();
+      for (const auto& f : fs::directory_iterator(dir.path())) {
+        if (!f.is_regular_file() || f.path().extension() != ".cgkv") continue;
+        uint32_t chunk = 0;
+        int32_t level = 0;
+        if (std::sscanf(f.path().filename().string().c_str(),
+                        "chunk%u_level%d.cgkv", &chunk, &level) != 2) {
+          continue;
+        }
+        entry->chunk_bytes[{chunk, level}] =
+            static_cast<uint32_t>(f.file_size());
+        entry->bytes += f.file_size();
+      }
+      if (entry->chunk_bytes.empty()) continue;
+      entry->persisted = true;
+      cold_bytes_ += entry->bytes;
+      cold_.emplace(id, std::move(entry));
+    }
+    // The budget may have shrunk since the adopted bytes were written.
+    EnforceColdCapacityLocked(nullptr, &erase_ids);
+  }
+  for (std::string& id : erase_ids) EnqueueErase(std::move(id));
+}
+
+// --- demotion (hot -> cold) --------------------------------------------------
+
+void TieredKVStore::OnHotEviction(ShardedKVStore::EvictedContext&& victim) {
+  // Runs under the evicting shard's lock: register the manifest entry
+  // synchronously (lookups racing the eviction must see the context as
+  // cold), defer only the disk write. Lock order is shard -> cold_mu_;
+  // nothing here blocks on I/O.
+  const std::string id = victim.context_id;
+  ColdEntryPtr entry;
+  std::vector<std::string> erase_ids;
+  {
+    std::lock_guard<std::mutex> lock(cold_mu_);
+    ColdEntryPtr& slot = cold_[id];
+    if (slot) {
+      // Replace an older incarnation. Same id means same immutable content
+      // and chunk set, so the new persist pass simply overwrites the old
+      // files — no erase needed.
+      slot->dead = true;
+      cold_bytes_ -= slot->bytes;
+    }
+    entry = std::make_shared<ColdEntry>();
+    entry->bytes = victim.bytes;
+    entry->last_touch_s = victim.last_touch_s;
+    for (const auto& [key, bytes] : victim.chunks) {
+      entry->chunk_bytes[{key.chunk_index, key.level_id}] =
+          static_cast<uint32_t>(bytes.size());
+    }
+    entry->buffer = std::move(victim.chunks);
+    slot = entry;
+    cold_bytes_ += entry->bytes;
+    demotions_.fetch_add(1, std::memory_order_relaxed);
+    demoted_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+    EnforceColdCapacityLocked(&id, &erase_ids);
+  }
+  for (std::string& eid : erase_ids) EnqueueErase(std::move(eid));
+  EnqueuePersist(id, std::move(entry));
+}
+
+void TieredKVStore::EnforceColdCapacityLocked(
+    const std::string* keep, std::vector<std::string>* erase_ids) {
+  if (opts_.cold_capacity_bytes == 0) return;
+  // Mirrors the hot tier: LRU at whole-context granularity, deterministic
+  // id tie-break, and the last context soft-overflows instead of thrashing.
+  while (cold_bytes_ > opts_.cold_capacity_bytes && cold_.size() > 1) {
+    const std::string* victim = nullptr;
+    const ColdEntry* victim_meta = nullptr;
+    for (const auto& [id, e] : cold_) {
+      if (keep && id == *keep) continue;
+      if (!victim || e->last_touch_s < victim_meta->last_touch_s ||
+          (e->last_touch_s == victim_meta->last_touch_s && id < *victim)) {
+        victim = &id;
+        victim_meta = e.get();
+      }
+    }
+    if (!victim) return;
+    const auto it = cold_.find(*victim);
+    it->second->dead = true;
+    cold_bytes_ -= it->second->bytes;
+    cold_evictions_.fetch_add(1, std::memory_order_relaxed);
+    cold_evicted_bytes_.fetch_add(it->second->bytes,
+                                  std::memory_order_relaxed);
+    // Unconditional, even for pending entries that never reached disk: a
+    // pending RE-demotion can be shadowing stale files of an earlier
+    // persisted incarnation whose own erase was skipped (it found this
+    // entry in the manifest). FIFO guarantees the pending persist job runs
+    // first, sees `dead`, and writes nothing; the erase then clears any
+    // leftovers so evicted bytes can't outlive the budget or resurrect on
+    // restart.
+    erase_ids->push_back(*victim);
+    cold_.erase(it);
+  }
+}
+
+// --- promotion (cold -> hot) -------------------------------------------------
+
+KVTier TieredKVStore::LookupAndPin(const std::string& context_id, double t_s) {
+  ColdEntryPtr entry;
+  std::vector<std::pair<ChunkKey, std::vector<uint8_t>>> chunks;
+  std::vector<ChunkKey> persisted_keys;
+  bool retried = false;
+  for (;;) {
+    if (hot_->LookupAndPin(context_id, t_s)) {
+      hot_hits_.fetch_add(1, std::memory_order_relaxed);
+      return KVTier::kHot;
+    }
+    std::unique_lock<std::mutex> lock(cold_mu_);
+    if (promoting_.count(context_id) > 0) {
+      // Another thread is moving this context hot; wait and retry the hot
+      // lookup so concurrent requests for one cold context agree.
+      promote_cv_.wait(
+          lock, [&] { return promoting_.count(context_id) == 0; });
+      continue;
+    }
+    const auto it = cold_.find(context_id);
+    if (it == cold_.end()) {
+      // A racing promotion can have completed wholesale between the hot
+      // check and this manifest check; one clean retry of both tiers
+      // settles it (a demotion registers in the manifest under the shard
+      // lock before the hot tier forgets the context, so two consecutive
+      // double misses mean genuinely absent).
+      if (!retried) {
+        retried = true;
+        lock.unlock();
+        continue;
+      }
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return KVTier::kMiss;
+    }
+    entry = it->second;
+    entry->dead = true;  // claimed by this promotion
+    cold_bytes_ -= entry->bytes;
+    cold_.erase(it);
+    if (entry->persisted) {
+      for (const auto& [chunk_id, size] : entry->chunk_bytes) {
+        persisted_keys.push_back({context_id, chunk_id.first, chunk_id.second});
+      }
+    } else if (entry->writing) {
+      // The background writer is reading the buffer outside the lock;
+      // copy instead of stealing it (it will discard its files on `dead`).
+      chunks = entry->buffer;
+    } else {
+      chunks = std::move(entry->buffer);
+    }
+    promoting_.insert(context_id);
+    break;
+  }
+  // Scope guard, not a manual call: the id must leave promoting_ on EVERY
+  // exit — a throw that skipped it would park all future lookups for this
+  // context on promote_cv_ forever.
+  struct FinishPromotion {
+    TieredKVStore* store;
+    const std::string& id;
+    ~FinishPromotion() {
+      {
+        std::lock_guard<std::mutex> lock(store->cold_mu_);
+        store->promoting_.erase(id);
+      }
+      store->promote_cv_.notify_all();
+    }
+  } finish_promotion{this, context_id};
+
+  // Placeholder pin first so the context survives concurrent evictions while
+  // its chunks are re-inserted (the established write-back discipline). All
+  // fallible work is contained below so the pin cannot leak.
+  hot_->Pin(context_id);
+  bool ok = true;
+  uint64_t bytes_promoted = 0;
+  try {
+    for (const ChunkKey& key : persisted_keys) {
+      auto bytes = cold_backend_->Get(key);
+      if (!bytes) {
+        ok = false;
+        break;
+      }
+      chunks.emplace_back(key, std::move(*bytes));
+    }
+    if (ok && !chunks.empty()) {
+      // Atomic w.r.t. concurrent lookups: the context is never observable
+      // half-populated.
+      std::vector<ChunkView> views;
+      views.reserve(chunks.size());
+      for (const auto& [key, bytes] : chunks) {
+        views.emplace_back(key, std::span<const uint8_t>(bytes));
+        bytes_promoted += bytes.size();
+      }
+      hot_->PutBatch(context_id, views);
+    }
+  } catch (...) {
+    ok = false;
+  }
+  if (!ok || chunks.empty()) {
+    // Cold copy unreadable (lost files, refused hot insert): back out and
+    // degrade to a plain miss — the request recomputes from text.
+    try {
+      hot_->Unpin(context_id);
+      hot_->EraseContext(context_id);
+    } catch (...) {
+      // Backout is best-effort (e.g. a file backend failing its erase too);
+      // the pin was dropped first, so nothing stays unevictable.
+    }
+    // The Unpin above re-enforces capacity and can have EVICTED the
+    // partially inserted context straight back through the demotion sink —
+    // re-registering the corrupt subset in the manifest. Purge it, then
+    // reclaim whatever files exist (the erase job would otherwise skip a
+    // context that is present in the manifest).
+    {
+      std::lock_guard<std::mutex> lock(cold_mu_);
+      const auto it = cold_.find(context_id);
+      if (it != cold_.end()) {
+        it->second->dead = true;
+        cold_bytes_ -= it->second->bytes;
+        cold_.erase(it);
+      }
+    }
+    try {
+      EnqueueErase(context_id);
+    } catch (...) {
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return KVTier::kMiss;
+  }
+  hot_->Touch(context_id, t_s);
+  // Exclusive tiering: reclaim the cold files once the context lives hot
+  // again. Unconditional — even a pending entry can shadow stale files of
+  // an earlier persisted incarnation whose erase was skipped.
+  EnqueueErase(context_id);
+  cold_hits_.fetch_add(1, std::memory_order_relaxed);
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  promoted_bytes_.fetch_add(bytes_promoted, std::memory_order_relaxed);
+  return KVTier::kCold;
+}
+
+// --- background writer -------------------------------------------------------
+
+void TieredKVStore::EnqueuePersist(const std::string& context_id,
+                                   ColdEntryPtr entry) {
+  EnqueueJob([this, context_id, entry = std::move(entry)] {
+    const std::vector<std::pair<ChunkKey, std::vector<uint8_t>>>* buffer =
+        nullptr;
+    {
+      std::lock_guard<std::mutex> lock(cold_mu_);
+      if (entry->dead || entry->persisted) return;
+      entry->writing = true;
+      buffer = &entry->buffer;
+    }
+    // The buffer is only mutated under cold_mu_ by paths that first check
+    // `writing`, so reading it here without the lock is safe.
+    bool ok = true;
+    for (const auto& [key, bytes] : *buffer) {
+      try {
+        cold_backend_->Put(key, bytes);
+      } catch (...) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      // Commit the context: without the sentinel, restart adoption treats
+      // the directory as mid-persist debris and reclaims it.
+      try {
+        const fs::path sentinel = opts_.cold_root /
+                                  SanitizeContextId(context_id) /
+                                  kColdCompleteSentinel;
+        std::ofstream out(sentinel, std::ios::binary | std::ios::trunc);
+        out << '1';
+        out.flush();
+        out.close();
+        ok = !out.fail();
+      } catch (...) {
+        ok = false;
+      }
+    }
+    bool discard_files = false;
+    {
+      std::lock_guard<std::mutex> lock(cold_mu_);
+      entry->writing = false;
+      if (entry->dead) {
+        // Promoted/evicted while writing: whatever landed on disk is
+        // orphaned.
+        discard_files = true;
+      } else if (ok) {
+        entry->persisted = true;
+        entry->buffer.clear();
+        entry->buffer.shrink_to_fit();
+      }
+      // !ok && !dead: disk refused (full/unwritable). The entry simply
+      // stays memory-resident; reads and promotions keep using the buffer.
+    }
+    if (discard_files) {
+      // Inline is safe: this runs at the front of the FIFO, so a newer
+      // incarnation's persist job (queued behind us) rewrites afterwards.
+      try {
+        cold_backend_->EraseContext(context_id);
+      } catch (...) {
+      }
+    }
+  });
+}
+
+void TieredKVStore::EnqueueErase(std::string context_id) {
+  EnqueueJob([this, context_id = std::move(context_id)] {
+    {
+      std::lock_guard<std::mutex> lock(cold_mu_);
+      // A newer incarnation re-entered the manifest after this erase was
+      // queued; its bytes share the directory, so removing it now would
+      // destroy live data (its own persist pass keeps the files fresh).
+      if (cold_.count(context_id) > 0) return;
+    }
+    try {
+      cold_backend_->EraseContext(context_id);
+    } catch (...) {
+    }
+  });
+}
+
+void TieredKVStore::EnqueueJob(std::function<void()> job) {
+  // With no background workers (single-core pool / CACHEGEN_THREADS=1)
+  // Submit would run the drainer inline — here possibly under the evicting
+  // shard's lock, exactly the disk-I/O-under-lock the sink contract forbids.
+  // Jobs stay queued instead (reads are served from the pending buffers) and
+  // the next Flush() drains them on the caller's thread.
+  const bool has_workers = ThreadPool::Instance().size() > 1;
+  bool start_drainer = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    jobs_.push_back(std::move(job));
+    if (has_workers && !drainer_active_) {
+      drainer_active_ = true;
+      start_drainer = true;
+    }
+  }
+  if (start_drainer) {
+    ThreadPool::Instance().Submit([this] { DrainJobs(); });
+  }
+}
+
+void TieredKVStore::DrainJobs() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      if (jobs_.empty()) {
+        drainer_active_ = false;
+        queue_cv_.notify_all();
+        return;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    try {
+      job();
+    } catch (...) {
+      // Background persistence is best-effort; the manifest state machine
+      // keeps unwritten entries memory-resident.
+    }
+  }
+}
+
+void TieredKVStore::Flush() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  // Loop, not a one-shot claim: with no background workers, a job enqueued
+  // by another thread while this thread drains would otherwise strand the
+  // wait forever (nothing else ever drains or signals in that mode).
+  for (;;) {
+    if (jobs_.empty() && !drainer_active_) return;
+    if (!drainer_active_) {
+      // Claim the drainer role — the normal case when no background worker
+      // exists — and drain on this thread.
+      drainer_active_ = true;
+      lock.unlock();
+      DrainJobs();
+      lock.lock();
+      continue;
+    }
+    queue_cv_.wait(lock);
+  }
+}
+
+// --- KVStore interface -------------------------------------------------------
+
+void TieredKVStore::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
+  hot_->Put(key, bytes);
+}
+
+void TieredKVStore::PutBatch(const std::string& context_id,
+                             std::span<const ChunkView> chunks) {
+  hot_->PutBatch(context_id, chunks);
+}
+
+std::optional<std::vector<uint8_t>> TieredKVStore::Get(
+    const ChunkKey& key) const {
+  bool retried = false;
+  for (;;) {
+    if (auto from_hot = hot_->Get(key)) return from_hot;
+    {
+      std::unique_lock<std::mutex> lock(cold_mu_);
+      if (promoting_.count(key.context_id) > 0) {
+        // Mid-promotion the bytes live in the promoter's hands — neither
+        // tier would answer. Wait and retry the hot tier.
+        promote_cv_.wait(
+            lock, [&] { return promoting_.count(key.context_id) == 0; });
+        continue;
+      }
+      const auto it = cold_.find(key.context_id);
+      if (it == cold_.end()) {
+        // A racing promotion can have completed wholesale between the hot
+        // check and here; one clean retry of both tiers settles it.
+        if (!retried) {
+          retried = true;
+          lock.unlock();
+          continue;
+        }
+        return std::nullopt;
+      }
+      const ColdEntry& entry = *it->second;
+      if (!entry.persisted) {
+        for (const auto& [chunk_key, chunk_bytes] : entry.buffer) {
+          if (chunk_key.chunk_index == key.chunk_index &&
+              chunk_key.level_id == key.level_id) {
+            return chunk_bytes;  // copy out of the pending buffer
+          }
+        }
+        return std::nullopt;
+      }
+    }
+    if (auto from_cold = cold_backend_->Get(key)) return from_cold;
+    // The files vanished between the manifest check and the read: a
+    // concurrent promotion erased them after copying the context into the
+    // hot tier (or it was re-demoted already). Go around once; a second
+    // failure means the bytes are genuinely lost (corrupt cold copy).
+    if (retried) return hot_->Get(key);
+    retried = true;
+  }
+}
+
+bool TieredKVStore::ContainsContext(const std::string& context_id) const {
+  bool retried = false;
+  for (;;) {
+    if (hot_->ContainsContext(context_id)) return true;
+    std::unique_lock<std::mutex> lock(cold_mu_);
+    if (promoting_.count(context_id) > 0) {
+      promote_cv_.wait(lock,
+                       [&] { return promoting_.count(context_id) == 0; });
+      continue;  // promoted (or backed out): re-check the hot tier
+    }
+    if (cold_.count(context_id) > 0) return true;
+    // A racing promotion can have completed wholesale between the hot check
+    // and here; one clean retry of both tiers settles it.
+    if (retried) return false;
+    retried = true;
+  }
+}
+
+void TieredKVStore::EraseContext(const std::string& context_id) {
+  hot_->EraseContext(context_id);
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(cold_mu_);
+    const auto it = cold_.find(context_id);
+    if (it != cold_.end()) {
+      found = true;
+      it->second->dead = true;
+      cold_bytes_ -= it->second->bytes;
+      cold_.erase(it);
+    }
+  }
+  if (found) EnqueueErase(context_id);
+}
+
+uint64_t TieredKVStore::TotalBytes() const {
+  uint64_t cold = 0;
+  {
+    std::lock_guard<std::mutex> lock(cold_mu_);
+    cold = cold_bytes_;
+  }
+  return hot_->TotalBytes() + cold;
+}
+
+uint64_t TieredKVStore::ContextBytes(const std::string& context_id) const {
+  uint64_t cold = 0;
+  {
+    std::lock_guard<std::mutex> lock(cold_mu_);
+    const auto it = cold_.find(context_id);
+    if (it != cold_.end()) cold = it->second->bytes;
+  }
+  return hot_->ContextBytes(context_id) + cold;
+}
+
+// --- pass-throughs & stats ---------------------------------------------------
+
+void TieredKVStore::Pin(const std::string& context_id) {
+  hot_->Pin(context_id);
+}
+
+void TieredKVStore::Unpin(const std::string& context_id) {
+  hot_->Unpin(context_id);
+}
+
+void TieredKVStore::Touch(const std::string& context_id, double t_s) {
+  hot_->Touch(context_id, t_s);
+}
+
+TieredKVStore::Stats TieredKVStore::stats() const {
+  Stats s;
+  s.hot_hits = hot_hits_.load(std::memory_order_relaxed);
+  s.cold_hits = cold_hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.demotions = demotions_.load(std::memory_order_relaxed);
+  s.demoted_bytes = demoted_bytes_.load(std::memory_order_relaxed);
+  s.promotions = promotions_.load(std::memory_order_relaxed);
+  s.promoted_bytes = promoted_bytes_.load(std::memory_order_relaxed);
+  s.cold_evictions = cold_evictions_.load(std::memory_order_relaxed);
+  s.cold_evicted_bytes = cold_evicted_bytes_.load(std::memory_order_relaxed);
+  s.hot_tier = hot_->stats();
+  s.hot_bytes = s.hot_tier.stored_bytes;
+  {
+    std::lock_guard<std::mutex> lock(cold_mu_);
+    s.cold_bytes = cold_bytes_;
+  }
+  return s;
+}
+
+}  // namespace cachegen

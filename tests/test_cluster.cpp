@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -370,6 +372,74 @@ TEST(ClusterServer, ProgressiveUpgradesWithSlackAndDegradesUnderContention) {
   const auto prog_heavy = run(1000.0, 8, true);
   const ClusterSummary heavy = Summarize(prog_heavy);
   EXPECT_LT(heavy.mean_enhanced_fraction, light.mean_enhanced_fraction);
+}
+
+// A KVStore backend whose Nth Put fails — a storage server hitting a
+// transient disk error mid write-back.
+class FlakyBackend final : public KVStore {
+ public:
+  explicit FlakyBackend(int failing_put_index)
+      : failing_put_index_(failing_put_index) {}
+
+  void Put(const ChunkKey& key, std::span<const uint8_t> bytes) override {
+    if (puts_.fetch_add(1) == failing_put_index_) {
+      throw std::runtime_error("FlakyBackend: disk full");
+    }
+    inner_.Put(key, bytes);
+  }
+  std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const override {
+    return inner_.Get(key);
+  }
+  bool ContainsContext(const std::string& id) const override {
+    return inner_.ContainsContext(id);
+  }
+  void EraseContext(const std::string& id) override { inner_.EraseContext(id); }
+  uint64_t TotalBytes() const override { return inner_.TotalBytes(); }
+  uint64_t ContextBytes(const std::string& id) const override {
+    return inner_.ContextBytes(id);
+  }
+
+ private:
+  MemoryKVStore inner_;
+  std::atomic<int> puts_{0};
+  int failing_put_index_;
+};
+
+TEST(ClusterServer, ThrowingWriteBackDoesNotLeakPinOrPartialContext) {
+  // StoreKV's batch insert hits a backend failure on its second chunk. The
+  // miss write-back must catch the failure, roll the partial insert back
+  // (PutBatch all-or-nothing), and — via PinGuard — drop its pin, or the
+  // context becomes a permanently unevictable half-written hit.
+  Engine::Options eopts;
+  eopts.model_name = "mistral-7b";
+  eopts.calib_context_tokens = 600;
+  eopts.calib_num_contexts = 4;
+  auto store = std::make_shared<ShardedKVStore>(
+      ShardedKVStore::Options{.num_shards = 1, .capacity_bytes = 0},
+      [](size_t) -> std::unique_ptr<KVStore> {
+        return std::make_unique<FlakyBackend>(1);
+      });
+  Engine engine(eopts, store);
+
+  ClusterServer::Options copts;
+  copts.num_workers = 1;
+  copts.write_back_on_miss = true;
+  ClusterServer server(engine, store, BandwidthTrace::Constant(2.0), copts);
+  const auto outcomes = server.Serve({MakeReq(0, 0.0, 600, 5.0)});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].cache_hit);
+  EXPECT_TRUE(outcomes[0].forced_text);
+
+  // The failed write-back left nothing partial behind...
+  EXPECT_FALSE(store->ContainsContext("ctx-0"));
+  EXPECT_EQ(store->TotalBytes(), 0u);
+  // ...and no pin either: the backend works again now, so a fresh store +
+  // erase round-trips (EraseContext is refused while pins are held, so its
+  // success proves PinGuard released the write pin).
+  store->Put({"ctx-0", 0, 0}, std::vector<uint8_t>{1});
+  ASSERT_TRUE(store->ContainsContext("ctx-0"));
+  store->EraseContext("ctx-0");
+  EXPECT_FALSE(store->ContainsContext("ctx-0"));
 }
 
 TEST(ClusterServer, AssembleKvDecodesRealBitstreams) {

@@ -1,14 +1,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/rng.h"
+#include "storage/pin_guard.h"
 #include "storage/sharded_kv_store.h"
 
 namespace cachegen {
 namespace {
+
+namespace fs = std::filesystem;
 
 std::vector<uint8_t> Blob(size_t n, uint8_t fill) {
   return std::vector<uint8_t>(n, fill);
@@ -163,6 +170,183 @@ TEST(ShardedKVStore, ConcurrentStressKeepsInvariants) {
   store.Put({"ctx-0", 0, 0}, Blob(128, 7));
   ASSERT_TRUE(store.Get({"ctx-0", 0, 0}).has_value());
   EXPECT_EQ(store.Get({"ctx-0", 0, 0})->size(), 128u);
+}
+
+// PutBatch is all-or-nothing for a previously-absent context: a backend
+// failure mid-batch rolls back everything already inserted.
+TEST(ShardedKVStore, FailedBatchInsertRollsBackCompletely) {
+  class FailSecondPut final : public KVStore {
+   public:
+    void Put(const ChunkKey& key, std::span<const uint8_t> bytes) override {
+      if (puts_++ == 1) throw std::runtime_error("disk full");
+      inner_.Put(key, bytes);
+    }
+    std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const override {
+      return inner_.Get(key);
+    }
+    bool ContainsContext(const std::string& id) const override {
+      return inner_.ContainsContext(id);
+    }
+    void EraseContext(const std::string& id) override {
+      inner_.EraseContext(id);
+    }
+    uint64_t TotalBytes() const override { return inner_.TotalBytes(); }
+    uint64_t ContextBytes(const std::string& id) const override {
+      return inner_.ContextBytes(id);
+    }
+
+   private:
+    MemoryKVStore inner_;
+    int puts_ = 0;
+  };
+
+  ShardedKVStore store({.num_shards = 1},
+                       [](size_t) -> std::unique_ptr<KVStore> {
+                         return std::make_unique<FailSecondPut>();
+                       });
+  store.Pin("ctx");  // a write-back-style placeholder pin is in flight
+  const std::vector<uint8_t> payload(16, 7);
+  const std::vector<ChunkView> chunks = {
+      {{"ctx", 0, 0}, payload}, {{"ctx", 1, 0}, payload}, {{"ctx", 2, 0}, payload}};
+  EXPECT_THROW(store.PutBatch("ctx", chunks), std::runtime_error);
+
+  // Chunk 0 landed before the failure but must not be visible: no partial
+  // context, exact accounting, and the pin placeholder stays invisible.
+  EXPECT_FALSE(store.ContainsContext("ctx"));
+  EXPECT_FALSE(store.Get({"ctx", 0, 0}).has_value());
+  EXPECT_EQ(store.TotalBytes(), 0u);
+  EXPECT_FALSE(store.LookupAndPin("ctx", 1.0));
+  store.Unpin("ctx");  // placeholder dropped
+  EXPECT_EQ(store.TotalBytes(), 0u);
+
+  // The batch interface also rejects keys naming a different context.
+  const std::vector<ChunkView> wrong = {{{"other", 0, 0}, payload}};
+  EXPECT_THROW(store.PutBatch("ctx", wrong), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// PinGuard: RAII pin ownership.
+// ---------------------------------------------------------------------------
+
+TEST(PinGuard, ReleasesOnScopeExitEvenOnThrow) {
+  ShardedKVStore store({.num_shards = 1});
+  store.Put({"ctx", 0, 0}, Blob(8, 1));
+  {
+    PinGuard guard = PinGuard::Acquire(store, "ctx");
+    EXPECT_TRUE(guard.active());
+    store.EraseContext("ctx");  // refused: pinned
+    EXPECT_TRUE(store.ContainsContext("ctx"));
+  }
+  store.EraseContext("ctx");  // pin released by scope exit
+  EXPECT_FALSE(store.ContainsContext("ctx"));
+
+  store.Put({"ctx", 0, 0}, Blob(8, 1));
+  try {
+    PinGuard guard = PinGuard::Acquire(store, "ctx");
+    throw std::runtime_error("boom");
+  } catch (const std::exception&) {
+  }
+  store.EraseContext("ctx");  // pin released during unwinding
+  EXPECT_FALSE(store.ContainsContext("ctx"));
+}
+
+TEST(PinGuard, AdoptMoveAndEarlyRelease) {
+  ShardedKVStore store({.num_shards = 1});
+  store.Put({"ctx", 0, 0}, Blob(8, 1));
+  ASSERT_TRUE(store.LookupAndPin("ctx", 1.0));
+  PinGuard guard = PinGuard::Adopt(store, "ctx");  // owns the lookup's pin
+  PinGuard moved = std::move(guard);
+  EXPECT_FALSE(guard.active());  // NOLINT(bugprone-use-after-move): tested
+  EXPECT_TRUE(moved.active());
+  moved.Release();
+  moved.Release();  // idempotent
+  EXPECT_FALSE(moved.active());
+  store.EraseContext("ctx");
+  EXPECT_FALSE(store.ContainsContext("ctx"));
+}
+
+// ---------------------------------------------------------------------------
+// ShardedKVStore over FileKVStore backends: the paper's storage-server
+// deployment shape (per-shard directories on a dedicated disk).
+// ---------------------------------------------------------------------------
+
+class ShardedOverFilesTest : public ::testing::Test {
+ protected:
+  ShardedOverFilesTest() {
+    static std::atomic<int> counter{0};
+    root_ = fs::temp_directory_path() /
+            ("cachegen_sharded_files_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    fs::remove_all(root_);
+  }
+  ~ShardedOverFilesTest() override { fs::remove_all(root_); }
+
+  ShardedKVStore::BackendFactory Factory() const {
+    return [root = root_](size_t shard) -> std::unique_ptr<KVStore> {
+      return std::make_unique<FileKVStore>(root /
+                                           ("shard" + std::to_string(shard)));
+    };
+  }
+
+  // The on-disk directory a context lands in (1-shard stores: shard0).
+  fs::path ContextDir(size_t shard, const std::string& id) const {
+    return root_ / ("shard" + std::to_string(shard)) / SanitizeContextId(id);
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ShardedOverFilesTest, RoundTripAndAccounting) {
+  ShardedKVStore store({.num_shards = 4}, Factory());
+  const auto payload = Blob(100, 7);
+  store.Put({"doc-a", 0, 0}, payload);
+  store.Put({"doc-a", 1, 2}, Blob(50, 8));
+  store.Put({"doc-b", 0, 0}, Blob(25, 9));
+
+  ASSERT_TRUE(store.Get({"doc-a", 0, 0}).has_value());
+  EXPECT_EQ(*store.Get({"doc-a", 0, 0}), payload);
+  EXPECT_TRUE(store.ContainsContext("doc-a"));
+  EXPECT_EQ(store.TotalBytes(), 175u);
+  EXPECT_EQ(store.ContextBytes("doc-a"), 150u);
+  EXPECT_TRUE(store.LookupAndPin("doc-a", 1.0));
+  store.Unpin("doc-a");
+
+  store.EraseContext("doc-a");
+  EXPECT_FALSE(store.ContainsContext("doc-a"));
+  EXPECT_FALSE(store.Get({"doc-a", 0, 0}).has_value());
+  EXPECT_EQ(store.TotalBytes(), 25u);
+}
+
+TEST_F(ShardedOverFilesTest, EvictionRemovesContextDirectory) {
+  ShardedKVStore store({.num_shards = 1, .capacity_bytes = 150}, Factory());
+  store.Put({"old", 0, 0}, Blob(100, 1));
+  ASSERT_TRUE(fs::exists(ContextDir(0, "old")));
+  store.Put({"new", 0, 0}, Blob(100, 2));  // 200 > 150 -> evict "old"
+
+  EXPECT_FALSE(store.ContainsContext("old"));
+  EXPECT_FALSE(fs::exists(ContextDir(0, "old")));  // bytes reclaimed on disk
+  EXPECT_TRUE(fs::exists(ContextDir(0, "new")));
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_EQ(store.TotalBytes(), 100u);
+}
+
+TEST_F(ShardedOverFilesTest, PinnedContextSurvivesCapacityPressure) {
+  ShardedKVStore store({.num_shards = 1, .capacity_bytes = 150}, Factory());
+  store.Put({"hot", 0, 0}, Blob(100, 1));
+  ASSERT_TRUE(store.LookupAndPin("hot", 1.0));
+  store.Put({"c1", 0, 0}, Blob(100, 2));
+  store.Put({"c2", 0, 0}, Blob(100, 3));
+
+  // Pinned: still on disk and readable no matter the pressure.
+  EXPECT_TRUE(store.ContainsContext("hot"));
+  EXPECT_TRUE(fs::exists(ContextDir(0, "hot")));
+  EXPECT_EQ(store.Get({"hot", 0, 0})->size(), 100u);
+  EXPECT_GT(store.stats().evictions, 0u);
+
+  store.Unpin("hot");
+  store.Put({"c3", 0, 0}, Blob(100, 4));  // re-enforce: "hot" now evictable
+  EXPECT_FALSE(store.ContainsContext("hot"));
+  EXPECT_FALSE(fs::exists(ContextDir(0, "hot")));
 }
 
 }  // namespace

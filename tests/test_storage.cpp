@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
 
 #include "storage/kv_store.h"
 
@@ -149,6 +152,71 @@ TEST(FileKVStore, TraversalIdsCannotEscapeRoot) {
     EXPECT_FALSE(store.ContainsContext(evil));
   }
   std::filesystem::remove_all(root);
+}
+
+TEST(FileKVStore, PutCommitsAtomicallyWithoutTempResidue) {
+  const auto dir = std::filesystem::temp_directory_path() / "cachegen_atomic_test";
+  std::filesystem::remove_all(dir);
+  {
+    FileKVStore store(dir);
+    store.Put({"ctx", 0, 0}, std::vector<uint8_t>{1, 2, 3});
+    store.Put({"ctx", 0, 0}, std::vector<uint8_t>{9, 9, 9, 9});  // rename-over
+    // Exactly one committed chunk file; no .tmp leftovers from either Put.
+    size_t files = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir / "ctx")) {
+      ASSERT_TRUE(e.is_regular_file());
+      EXPECT_EQ(e.path().extension(), ".cgkv") << e.path();
+      ++files;
+    }
+    EXPECT_EQ(files, 1u);
+    EXPECT_EQ(store.Get({"ctx", 0, 0})->size(), 4u);
+    EXPECT_EQ(store.TotalBytes(), 4u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileKVStore, CrashedPutTempFileStaysInvisible) {
+  const auto dir = std::filesystem::temp_directory_path() / "cachegen_crash_test";
+  std::filesystem::remove_all(dir);
+  {
+    FileKVStore store(dir);
+    // Simulate a Put that died mid-write: a stale temp file under the final
+    // name plus ".tmpN". It must never surface as data.
+    std::filesystem::create_directories(dir / "ctx");
+    {
+      std::ofstream stale(dir / "ctx" / "chunk0_level0.cgkv.tmp42",
+                          std::ios::binary);
+      stale << "truncated-garbage";
+    }
+    EXPECT_FALSE(store.Get({"ctx", 0, 0}).has_value());
+    EXPECT_EQ(store.TotalBytes(), 0u);
+    EXPECT_EQ(store.ContextBytes("ctx"), 0u);
+
+    // A real Put alongside it works and is counted alone...
+    store.Put({"ctx", 0, 0}, std::vector<uint8_t>{5});
+    EXPECT_EQ(store.Get({"ctx", 0, 0})->size(), 1u);
+    EXPECT_EQ(store.TotalBytes(), 1u);
+    // ...and EraseContext reclaims the debris with the rest.
+    store.EraseContext("ctx");
+    EXPECT_FALSE(std::filesystem::exists(dir / "ctx"));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileKVStore, PutThrowsWhenDirectoryCreationIsBlocked) {
+  const auto dir = std::filesystem::temp_directory_path() / "cachegen_blocked_test";
+  std::filesystem::remove_all(dir);
+  {
+    FileKVStore store(dir);
+    // A regular file squatting where the context directory must go makes the
+    // write path fail — Put must surface that at write time, not as a later
+    // corrupt read.
+    { std::ofstream squatter(dir / "ctx"); }
+    EXPECT_THROW(store.Put({"ctx", 0, 0}, std::vector<uint8_t>{1}),
+                 std::exception);
+    EXPECT_FALSE(store.Get({"ctx", 0, 0}).has_value());
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(FileKVStore, PersistsAcrossInstances) {
