@@ -5,8 +5,18 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "prefix/prefix_cache.h"
 
 namespace cachegen {
+
+ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
+                         const CacheTier* tier, const QoEModel& qoe) {
+  ClusterSummary s = Summarize(outcomes, qoe);
+  if (tier != nullptr && tier->prefix() != nullptr) {
+    s.deduped_bytes = tier->prefix()->stats().deduped_bytes;
+  }
+  return s;
+}
 
 ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
                          const QoEModel& qoe) {
@@ -22,6 +32,8 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
   double base_frac_sum = 0.0, enh_frac_sum = 0.0;
   double good_tokens = 0.0;
   size_t violations = 0, hits = 0, cold_hits = 0;
+  size_t prefix_hits = 0, full_misses = 0;
+  double covered_frac_sum = 0.0, prefix_ttft_sum = 0.0, miss_ttft_sum = 0.0;
 
   for (const RequestOutcome& o : outcomes) {
     ttfts.push_back(o.ttft_s);
@@ -45,6 +57,17 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
     }
     if (o.cache_hit) ++hits;
     if (o.cold_hit) ++cold_hits;
+    if (o.prefix_hit) {
+      ++prefix_hits;
+      prefix_ttft_sum += o.ttft_s;
+      if (o.request.spec.num_tokens > 0) {
+        covered_frac_sum += static_cast<double>(o.covered_tokens) /
+                            static_cast<double>(o.request.spec.num_tokens);
+      }
+    } else if (!o.cache_hit) {
+      ++full_misses;
+      miss_ttft_sum += o.ttft_s;
+    }
     s.total_gbytes_sent += o.bytes_sent / 1e9;
   }
 
@@ -62,7 +85,15 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
   s.cache_hit_rate = static_cast<double>(hits) / n;
   s.cold_hit_rate = static_cast<double>(cold_hits) / n;
   s.hot_hit_rate = static_cast<double>(hits - cold_hits) / n;
-  s.miss_rate = 1.0 - s.cache_hit_rate;
+  s.prefix_hit_rate = static_cast<double>(prefix_hits) / n;
+  s.miss_rate = 1.0 - s.cache_hit_rate - s.prefix_hit_rate;
+  if (prefix_hits > 0) {
+    s.mean_covered_fraction = covered_frac_sum / static_cast<double>(prefix_hits);
+    s.mean_prefix_ttft_s = prefix_ttft_sum / static_cast<double>(prefix_hits);
+  }
+  if (full_misses > 0) {
+    s.mean_miss_ttft_s = miss_ttft_sum / static_cast<double>(full_misses);
+  }
   s.mean_quality = quality_sum / n;
   s.mean_effective_quality = effective_quality_sum / n;
   s.mean_base_fraction = base_frac_sum / n;
@@ -71,16 +102,17 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
 }
 
 std::string FormatSummary(const ClusterSummary& s) {
-  char buf[384];
+  char buf[448];
   std::snprintf(buf, sizeof(buf),
                 "n=%zu ttft p50/p95/p99 = %.2f/%.2f/%.2f s, queue %.2f s, "
                 "SLO-viol %.0f%%, goodput %.0f tok/s, QoE %.2f, "
-                "hot/cold/miss %.0f/%.0f/%.0f%%, enh %.0f%%",
+                "hot/cold/prefix/miss %.0f/%.0f/%.0f/%.0f%%, enh %.0f%%",
                 s.completed, s.p50_ttft_s, s.p95_ttft_s, s.p99_ttft_s,
                 s.mean_queue_delay_s, 100.0 * s.slo_violation_rate,
                 s.goodput_tokens_per_s, s.mean_qoe_mos,
                 100.0 * s.hot_hit_rate, 100.0 * s.cold_hit_rate,
-                100.0 * s.miss_rate, 100.0 * s.mean_enhanced_fraction);
+                100.0 * s.prefix_hit_rate, 100.0 * s.miss_rate,
+                100.0 * s.mean_enhanced_fraction);
   return buf;
 }
 

@@ -22,8 +22,14 @@ struct RequestOutcome {
   double ttft_s = 0.0;         // user-perceived: queue + load + prompt pass
   double finish_s = 0.0;       // absolute completion instant
   bool slo_violated = false;   // queue + load delay vs the request SLO
-  bool cache_hit = false;      // hot OR cold tier (never true with forced_text)
+  bool cache_hit = false;      // FULL hit, hot or cold (never with forced_text)
   bool cold_hit = false;       // served by promoting the cold tier
+  // Partial-prefix hit (prefix-aware tiers): the leading covered_tokens
+  // tokens streamed as shared cached KV chunks; only the suffix shipped as
+  // text and paid GPU prefill. Mutually exclusive with cache_hit AND with
+  // forced_text — the third scenario between them.
+  bool prefix_hit = false;
+  size_t covered_tokens = 0;   // chunk-aligned cached prefix (request tokens on full hits)
   bool forced_text = false;    // miss path: full text + re-prefill
   double quality = 1.0;        // composed streaming quality factor
   double bytes_sent = 0.0;
@@ -48,12 +54,24 @@ struct ClusterSummary {
   double slo_violation_rate = 0.0;
   double goodput_tokens_per_s = 0.0;  // context tokens of SLO-met requests / makespan
   double mean_qoe_mos = 0.0;          // QoE model over (ttft, quality)
-  double cache_hit_rate = 0.0;        // hot + cold, over served requests
-  // Tiered-storage breakdown: which tier answered (sums to 1 with miss_rate;
-  // hot_hit_rate == cache_hit_rate on non-tiered runs).
+  double cache_hit_rate = 0.0;        // full hits (hot + cold), over served requests
+  // Scenario taxonomy: hot / cold / prefix / miss sum to 1 (hot_hit_rate ==
+  // cache_hit_rate on non-tiered runs; prefix_hit_rate is 0 without the
+  // prefix layer).
   double hot_hit_rate = 0.0;
   double cold_hit_rate = 0.0;
+  double prefix_hit_rate = 0.0;
   double miss_rate = 0.0;
+  // Prefix-sharing effect: mean fraction of a partial-hit request's tokens
+  // served from the shared cached prefix, and the suffix-only TTFT next to
+  // what a full miss pays (both 0 when the scenario never occurred).
+  double mean_covered_fraction = 0.0;  // over prefix hits
+  double mean_prefix_ttft_s = 0.0;     // mean TTFT over partial-prefix hits
+  double mean_miss_ttft_s = 0.0;       // mean TTFT over full misses
+  // Bytes the content-addressed chunk store avoided writing because the
+  // address already existed (filled from the tier by the Summarize overload
+  // that takes one; 0 otherwise).
+  uint64_t deduped_bytes = 0;
   double mean_quality = 0.0;
   // Mean quality with SLO-violating requests scored 0 — the QoE-style
   // "useful quality" a tiered cold hit buys over an evict-to-miss recompute
@@ -66,8 +84,15 @@ struct ClusterSummary {
   double mean_enhanced_fraction = 0.0;
 };
 
+class CacheTier;
+
 ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
                          const QoEModel& qoe = QoEModel{});
+
+// Same, plus tier-level counters the outcomes alone cannot carry (dedup'd
+// bytes from a prefix-sharing tier). `tier` may be null.
+ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
+                         const CacheTier* tier, const QoEModel& qoe = QoEModel{});
 
 // One-line rendering for benches/examples.
 std::string FormatSummary(const ClusterSummary& s);

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "codec/encoding_level.h"
+#include "prefix/prefix_cache.h"
 #include "storage/pin_guard.h"
 #include "streamer/streamer.h"
 
@@ -18,53 +19,66 @@ uint64_t PackPayload(size_t worker, size_t slot) {
 
 }  // namespace
 
-ClusterServer::ClusterServer(Engine& engine, std::shared_ptr<ShardedKVStore> store,
+ClusterServer::ClusterServer(Engine& engine, std::shared_ptr<CacheTier> tier,
                              BandwidthTrace capacity, Options opts)
     : engine_(engine),
-      store_(std::move(store)),
+      tier_(std::move(tier)),
       capacity_(std::move(capacity)),
       opts_(opts) {
   if (opts_.num_workers == 0) {
     throw std::invalid_argument("ClusterServer: need at least one worker");
   }
-  if (!store_ || &engine_.store() != store_.get()) {
+  if (!tier_ || &engine_.store() != &tier_->kv()) {
     throw std::invalid_argument(
-        "ClusterServer: engine must be constructed with the cluster's "
-        "ShardedKVStore");
-  }
-}
-
-ClusterServer::ClusterServer(Engine& engine, std::shared_ptr<TieredKVStore> store,
-                             BandwidthTrace capacity, Options opts)
-    : engine_(engine),
-      tiered_(std::move(store)),
-      capacity_(std::move(capacity)),
-      opts_(opts) {
-  if (opts_.num_workers == 0) {
-    throw std::invalid_argument("ClusterServer: need at least one worker");
-  }
-  if (!tiered_ || &engine_.store() != static_cast<KVStore*>(tiered_.get())) {
-    throw std::invalid_argument(
-        "ClusterServer: engine must be constructed with the cluster's "
-        "TieredKVStore");
+        "ClusterServer: engine must be constructed with the cluster tier's "
+        "kv() store");
   }
   if (!(opts_.cold_read_gbps > 0.0)) {
     throw std::invalid_argument("ClusterServer: cold_read_gbps must be > 0");
   }
+  if (tier_->prefix() != nullptr &&
+      tier_->prefix()->options().chunk_tokens != engine_.options().chunk_tokens) {
+    throw std::invalid_argument(
+        "ClusterServer: PrefixCache chunk_tokens must match the engine's "
+        "(content addresses are computed over the encoder's chunk grid)");
+  }
 }
 
-KVTier ClusterServer::Lookup(const std::string& context_id, double t_s) {
-  if (tiered_) return tiered_->LookupAndPin(context_id, t_s);
-  return store_->LookupAndPin(context_id, t_s) ? KVTier::kHot : KVTier::kMiss;
-}
+ClusterServer::ClusterServer(Engine& engine, std::shared_ptr<ShardedKVStore> store,
+                             BandwidthTrace capacity, Options opts)
+    : ClusterServer(engine, std::shared_ptr<CacheTier>(store), std::move(capacity),
+                    opts) {}
+
+ClusterServer::ClusterServer(Engine& engine, std::shared_ptr<TieredKVStore> store,
+                             BandwidthTrace capacity, Options opts)
+    : ClusterServer(engine, std::shared_ptr<CacheTier>(store), std::move(capacity),
+                    opts) {}
 
 void ClusterServer::Prestore(const RequestTraceOptions& trace_opts) {
+  std::vector<std::pair<std::string, ContextSpec>> contexts;
+  contexts.reserve(trace_opts.num_contexts);
   for (size_t i = 0; i < trace_opts.num_contexts; ++i) {
-    engine_.StoreKV(PoolContextId(i), PoolContextSpec(trace_opts, i));
+    contexts.emplace_back(PoolContextId(i), PoolContextSpec(trace_opts, i));
   }
-  // Make the cold tier's on-disk state deterministic before serving starts
-  // (pre-store overflow demotes through the background writer).
-  if (tiered_) tiered_->Flush();
+  Prestore(contexts);
+}
+
+void ClusterServer::Prestore(
+    std::span<const std::pair<std::string, ContextSpec>> contexts) {
+  for (const auto& [id, spec] : contexts) {
+    tier_->BeginStore(id, spec);
+    try {
+      engine_.StoreKV(id, spec);
+    } catch (...) {
+      // Retire the unconsumed announcement before surfacing the failure —
+      // a leaked announcement would misroute future Pin()s for this id.
+      tier_->AbortStore(id);
+      throw;
+    }
+  }
+  // Make background tier state (cold-tier writers) deterministic before
+  // serving starts.
+  tier_->Flush();
 }
 
 std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> trace) {
@@ -154,11 +168,10 @@ std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> tra
   }
 
   for (std::thread& t : threads) t.join();
-  // Drain the cold tier's background writer so pending demotion buffers
-  // (which hold evicted bitstreams in RAM, and — with no pool workers —
-  // would otherwise never persist) are bounded per trace, and the on-disk
-  // state is settled before the caller inspects it.
-  if (tiered_) tiered_->Flush();
+  // Drain background tier work (the cold tier's demotion writer holds
+  // evicted bitstreams in RAM until persisted) so RAM is bounded per trace
+  // and on-disk state is settled before the caller inspects it.
+  tier_->Flush();
   std::sort(outcomes.begin(), outcomes.end(),
             [](const RequestOutcome& a, const RequestOutcome& b) {
               return a.request.id < b.request.id;
@@ -174,13 +187,18 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   // Our unparked flow now freezes virtual time; the admission hold can go.
   link_->ReleaseHold(admit_hold);
 
-  const KVTier tier = Lookup(rq.context_id, admit_s);
-  const bool hit = tier != KVTier::kMiss;
-  const bool cold = tier == KVTier::kCold;
-  // A hit's pin (taken by LookupAndPin, hot or promoted-cold alike) is owned
-  // by a guard: no exit path — including an exception — can leak it and
-  // permanently shrink the evictable capacity.
-  PinGuard pin = hit ? PinGuard::Adopt(pin_store(), rq.context_id) : PinGuard();
+  const TierLookup look = tier_->LookupAndPin(rq.context_id, rq.spec, admit_s);
+  const bool hit = look.hit();
+  const bool prefix = look.prefix_hit();
+  // Cold pricing applies whenever any streamed chunk came off the cold
+  // device — a cold full hit, or a partial prefix whose covered chunks were
+  // promoted.
+  const bool cold = look.any_cold;
+  // Whatever the lookup pinned (context and/or covered prefix chunks) is
+  // owned by a guard: no exit path — including an exception — can leak it
+  // and permanently shrink the evictable capacity.
+  PinGuard pin =
+      look.pinned ? PinGuard::Adopt(*tier_, rq.context_id) : PinGuard();
 
   const ContextPlan plan = engine_.PlanFromCalibration(rq.spec.num_tokens);
   const double slo = rq.slo_s;  // resolved against the default in Serve()
@@ -193,25 +211,30 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   // First-chunk prior: assume the path splits as many ways as the GPU does.
   // gpu_share comes from the coordinator's in-flight count at admission, so
   // the hint is deterministic (SharedLink::ActiveFlows() would race with
-  // peers still registering in wall-clock time). A cold hit's hint is capped
-  // at the cold device's read rate so the very first chunk is already picked
-  // for the slower path.
+  // peers still registering in wall-clock time). A cold stream's hint is
+  // capped at the cold device's read rate so the very first chunk is already
+  // picked for the slower path.
   double hint = opts_.throughput_hint_gbps.value_or(
       link_->CapacityGbpsAt(admit_s) * gpu_share);
   if (cold) hint = std::min(hint, opts_.cold_read_gbps);
 
+  // Scenario -> streaming mode. A partial-prefix hit streams adaptively up
+  // to the covered chunk count; everything past it is forced text (those
+  // tokens exist nowhere as bitstreams), which is exactly where the GPU
+  // prefill bill for the uncovered tail comes from.
   const StreamMode mode =
       hit ? (opts_.progressive ? StreamMode::kProgressive : StreamMode::kAdaptive)
-          : StreamMode::kForceText;
+          : (prefix ? StreamMode::kAdaptive : StreamMode::kForceText);
+  const size_t kv_limit = prefix ? look.covered_chunks : SIZE_MAX;
   ClientLink client(*link_, flow);
-  // Cold hits stream through the cold-read model: throughput bounded by the
+  // Cold streams run through the cold-read model: throughput bounded by the
   // device, first byte delayed by the seek. SLO accounting needs no special
-  // casing — the slower timeline simply is the stream's timeline. Built only
-  // on the cold path (cold implies the tiered ctor validated cold_read_gbps).
+  // casing — the slower timeline simply is the stream's timeline.
   std::optional<ThrottledLink> cold_client;
   if (cold) cold_client.emplace(client, opts_.cold_read_gbps, opts_.cold_seek_s);
   Link& path = cold ? static_cast<Link&>(*cold_client) : client;
-  const StreamResult sr = streamer.Stream(plan, path, gpu_share, hint, mode);
+  const StreamResult sr =
+      streamer.Stream(plan, path, gpu_share, hint, mode, kv_limit);
 
   // The worker (and its link flow) stays occupied through the enhancement
   // pass, which overlaps the prompt pass that runs right after load_finish;
@@ -229,8 +252,10 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   out.finish_s = free_s;
   out.slo_violated = queue_delay + sr.load_finish_s > slo + 1e-12;
   out.cache_hit = hit;
-  out.cold_hit = cold;
-  out.forced_text = !hit;  // a cold hit streams KV — never forced_text
+  out.cold_hit = hit && look.tier == KVTier::kCold;
+  out.prefix_hit = prefix;
+  out.covered_tokens = look.covered_tokens;
+  out.forced_text = !hit && !prefix;  // prefix/cold streams are never forced_text
   out.quality = sr.quality;
   out.bytes_sent = sr.bytes_sent;
   out.base_quality = sr.base_quality;
@@ -243,27 +268,37 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   // ordering write-back (and the hit-path unpin, which can itself evict by
   // re-enforcing capacity) first guarantees a successor admitted because of
   // this completion sees a settled cache tier — hit/miss outcomes stay
-  // reproducible instead of racing in wall-clock time.
+  // reproducible instead of racing in wall-clock time. A partial-prefix hit
+  // writes back too (it is a context-level miss): under a prefix-aware tier
+  // the covered chunks dedup into the store and only the suffix costs bytes.
   if (!hit && opts_.write_back_on_miss) {
+    // Announce BEFORE pinning: a prefix-aware tier routes Pin() by what it
+    // knows about the id, so the announcement is what turns this pin into a
+    // pending context pin that carries over to the registration — pinned
+    // the other way round, a freshly registered context would sit unpinned
+    // at LRU stamp 0, the prime victim for a concurrent worker's eviction
+    // before Touch() runs.
+    tier_->BeginStore(rq.context_id, rq.spec);
     // Guard, not a bare Pin/Unpin pair: StoreKV throwing (full disk, failing
     // backend) used to leave the context pinned forever — unevictable dead
     // capacity. The write-back itself is best-effort: on failure the context
     // simply stays uncached and the worker carries on.
-    PinGuard write_pin = PinGuard::Acquire(pin_store(), rq.context_id);
+    PinGuard write_pin = PinGuard::Acquire(*tier_, rq.context_id);
     try {
       engine_.StoreKV(rq.context_id, rq.spec);
       // Put() cannot know virtual time; stamp recency here or the fresh
       // write-back would be the LRU victim.
-      pin_store().Touch(rq.context_id, free_s);
+      tier_->Touch(rq.context_id, free_s);
     } catch (const std::exception&) {
-      // Nothing to clean up: StoreKV persists through PutBatch, which rolls
-      // a failed insert of a previously-absent context back entirely — no
-      // half-written context is ever visible. The context simply stays
-      // uncached (and the guard drops the pin).
+      // StoreKV persists through PutBatch, which rolls a failed insert of a
+      // previously-absent context back entirely — no half-written context
+      // is ever visible. The context simply stays uncached (the guard drops
+      // the pin); the tier just gets to retire the unconsumed announcement.
+      tier_->AbortStore(rq.context_id);
     }
   }
   const bool keep_pin_for_assembly = hit && opts_.assemble_kv;
-  if (hit && !keep_pin_for_assembly) pin.Release();
+  if (look.pinned && !keep_pin_for_assembly) pin.Release();
   link_->CompleteFlow(flow, free_s, PackPayload(worker, slot));
 
   // Below here only read-only (or pin-release) work remains; it runs after

@@ -1,6 +1,6 @@
 // ClusterServer: the concurrent serving layer above the single-request
-// substrate (codec -> streamer -> engine). One Engine, one ShardedKVStore
-// cache tier, one shared network path, W workers:
+// substrate (codec -> streamer -> engine). One Engine, one CacheTier, one
+// shared network path, W workers:
 //
 //   coordinator --admits--> worker threads --stream--> SharedLink (fair share)
 //        ^                       |
@@ -15,15 +15,23 @@
 // organically pushes streams to coarser encoding levels, exactly the
 // contention behavior of the paper's Fig. 12/13.
 //
-// Cache behavior: a request whose context is resident (LookupAndPin hit)
-// streams encoded KV; a miss ships the raw text and pays full re-prefill
-// (StreamMode::kForceText), then optionally writes the KV back, evicting
-// cold contexts when the tier is over capacity. With a TieredKVStore the
-// lookup has a THIRD outcome: a context demoted to the cold tier is promoted
-// back and streamed at KV quality, priced through a ThrottledLink that
-// models the cold device's read bandwidth (Options::cold_read_gbps) and
-// first-byte seek (Options::cold_seek_s) — losing the hot tier costs
-// latency, not a full re-prefill.
+// Cache behavior — four scenarios, priced by one CacheTier lookup:
+//   hot full hit    — stream encoded KV from RAM (kAdaptive/kProgressive);
+//   cold full hit   — same stream through a ThrottledLink modelling the cold
+//                     device's read bandwidth (Options::cold_read_gbps) and
+//                     first-byte seek (Options::cold_seek_s);
+//   partial prefix  — a prefix-aware tier (PrefixCache) matched a cached
+//                     chunk-aligned prefix of the request's token sequence:
+//                     covered chunks stream as KV, only the uncovered suffix
+//                     ships as text and pays GPU prefill for the tail;
+//   miss            — full text + re-prefill (StreamMode::kForceText), then
+//                     optionally written back (content-addressed and dedup'd
+//                     when the tier is prefix-aware).
+//
+// The tier arrangement is entirely the constructor's business: a bare
+// ShardedKVStore, a hot/cold TieredKVStore, or a PrefixCache over either —
+// the server itself holds a single CacheTier and never dispatches on the
+// concrete arrangement.
 //
 // Determinism: streaming timelines, admission order, and all latency
 // metrics depend only on (trace, options) — virtual time is advanced by
@@ -39,6 +47,8 @@
 
 #include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster_metrics.h"
@@ -47,6 +57,7 @@
 #include "cluster/shared_link.h"
 #include "net/bandwidth_trace.h"
 #include "serving/engine.h"
+#include "storage/cache_tier.h"
 #include "storage/sharded_kv_store.h"
 #include "storage/tiered_kv_store.h"
 
@@ -61,8 +72,8 @@ class ClusterServer {
     // Decode the delivered bitstreams into a real KVCache after streaming
     // (exercises the actual codec; costs real CPU, not virtual time).
     bool assemble_kv = false;
-    // On a cache miss, prefill + encode + store the context so later
-    // requests hit (may evict under capacity pressure).
+    // On a cache miss (or partial-prefix hit), prefill + encode + store the
+    // context so later requests hit (may evict under capacity pressure).
     bool write_back_on_miss = true;
     // Progressive (§9) delivery on cache hits: the streamer runs the
     // two-pass layered timeline, so under link contention a request degrades
@@ -72,23 +83,26 @@ class ClusterServer {
     // First-chunk throughput prior handed to the streamer; defaults to the
     // aggregate capacity divided by the number of in-flight streams.
     std::optional<double> throughput_hint_gbps;
-    // Cold-tier read model, charged on cold hits (tiered store only): the
-    // cold device's per-stream read bandwidth caps the stream's effective
-    // throughput (and the first-chunk hint), and the seek penalty delays the
-    // first byte. Defaults model a shared HDD/object-store read path that is
-    // slower than the 3 Gbps network but far cheaper than a re-prefill.
+    // Cold-tier read model, charged whenever any streamed chunk was promoted
+    // from the cold tier: the cold device's per-stream read bandwidth caps
+    // the stream's effective throughput (and the first-chunk hint), and the
+    // seek penalty delays the first byte. Defaults model a shared
+    // HDD/object-store read path that is slower than the 3 Gbps network but
+    // far cheaper than a re-prefill.
     double cold_read_gbps = 1.25;
     double cold_seek_s = 0.015;
   };
 
-  // `store` must be the same object `engine` was constructed with — the
-  // cluster pins/evicts through the sharded interface while the engine
-  // reads and writes chunks through KVStore.
-  ClusterServer(Engine& engine, std::shared_ptr<ShardedKVStore> store,
+  // The general form: serve through any CacheTier arrangement. `engine`
+  // must be constructed with the tier's kv() as its store — the cluster
+  // pins/evicts through the tier while the engine reads and writes chunks
+  // through the same object, so translation/dedup/tiering apply to both.
+  ClusterServer(Engine& engine, std::shared_ptr<CacheTier> tier,
                 BandwidthTrace capacity, Options opts);
 
-  // Tiered-store path: hot hits stream from RAM, cold hits are promoted and
-  // streamed through the cold-read model, misses recompute from text.
+  // Convenience forms for the two plain arrangements.
+  ClusterServer(Engine& engine, std::shared_ptr<ShardedKVStore> store,
+                BandwidthTrace capacity, Options opts);
   ClusterServer(Engine& engine, std::shared_ptr<TieredKVStore> store,
                 BandwidthTrace capacity, Options opts);
 
@@ -99,14 +113,19 @@ class ClusterServer {
 
   // Prefill + encode + store a context pool up front (warm cache).
   void Prestore(const RequestTraceOptions& trace_opts);
+  // Same for an arbitrary context set (e.g. shared-prefix family members).
+  void Prestore(std::span<const std::pair<std::string, ContextSpec>> contexts);
 
   const Options& options() const { return opts_; }
-  // The hot/sharded tier (the whole store on non-tiered runs).
-  const ShardedKVStore& store() const {
-    return tiered_ ? tiered_->hot() : *store_;
-  }
-  // Null unless constructed with a TieredKVStore.
-  const TieredKVStore* tiered_store() const { return tiered_.get(); }
+  // The serving tier arrangement.
+  const CacheTier& tier() const { return *tier_; }
+  // The sharded hot tier of the arrangement (the whole store on plain
+  // sharded runs). Every supported arrangement has one.
+  const ShardedKVStore& store() const { return *tier_->hot_tier(); }
+  // Null unless a TieredKVStore is in the arrangement.
+  const TieredKVStore* tiered_store() const { return tier_->tiered(); }
+  // Null unless the prefix-sharing layer is in the arrangement.
+  const PrefixCache* prefix_cache() const { return tier_->prefix(); }
   // Link of the last Serve() run (null before the first run).
   const SharedLink* link() const { return link_.get(); }
 
@@ -115,13 +134,8 @@ class ClusterServer {
                 SharedLink::HoldId admit_hold, double gpu_share,
                 std::vector<RequestOutcome>* outcomes);
 
-  // The tier that pins are held against (the hot tier on tiered runs).
-  ShardedKVStore& pin_store() { return tiered_ ? tiered_->hot() : *store_; }
-  KVTier Lookup(const std::string& context_id, double t_s);
-
   Engine& engine_;
-  std::shared_ptr<ShardedKVStore> store_;   // null on tiered runs
-  std::shared_ptr<TieredKVStore> tiered_;   // null on sharded runs
+  std::shared_ptr<CacheTier> tier_;
   BandwidthTrace capacity_;
   Options opts_;
   std::unique_ptr<SharedLink> link_;

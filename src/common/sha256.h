@@ -1,0 +1,55 @@
+// Self-contained SHA-256 (FIPS 180-4). Two consumers need a *cryptographic*
+// digest rather than a mixing hash:
+//   * SanitizeContextId: multi-tenant isolation means an adversarial tenant
+//     must not be able to engineer a mangled-id collision and poison another
+//     tenant's cache entry (64-bit FNV-1a was fine against accidents only);
+//   * the prefix subsystem's content-addressed chunk store, where a chunk's
+//     identity IS its digest — a collision would silently alias two
+//     different token spans.
+// No dependency beyond <cstdint>; ~150 lines of straight-line compression,
+// fast enough (>100 MB/s) that hashing every stored chunk is noise next to
+// encoding it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace cachegen {
+
+// Incremental hasher for callers that digest several fields without
+// concatenating them into one buffer first.
+class Sha256 {
+ public:
+  using Digest = std::array<uint8_t, 32>;
+
+  Sha256();
+
+  Sha256& Update(std::span<const uint8_t> bytes);
+  Sha256& Update(const std::string& s);
+  // Little-endian fixed-width integer, so digests are platform-independent.
+  Sha256& UpdateU64(uint64_t v);
+  Sha256& UpdateU32(uint32_t v);
+
+  // Finish and return the digest. The hasher must not be reused afterwards.
+  Digest Finish();
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> state_;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+// One-shot convenience wrappers.
+Sha256::Digest Sha256Of(std::span<const uint8_t> bytes);
+Sha256::Digest Sha256Of(const std::string& s);
+
+// Lowercase hex of the first `bytes` digest bytes (default: all 32).
+std::string Sha256Hex(const Sha256::Digest& digest, size_t bytes = 32);
+
+}  // namespace cachegen

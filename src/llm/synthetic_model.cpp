@@ -26,6 +26,18 @@ inline double NoiseGaussian(uint64_t h) {
 
 }  // namespace
 
+uint32_t ContextTokenAt(const ContextSpec& ctx, size_t i) {
+  const bool in_prefix = i < std::min(ctx.prefix_tokens, ctx.num_tokens);
+  const uint64_t seed = in_prefix ? ctx.prefix_seed : ctx.seed;
+  return static_cast<uint32_t>(Mix(seed, 0x70CEA500ULL + i));
+}
+
+std::vector<uint32_t> ContextTokenIds(const ContextSpec& ctx) {
+  std::vector<uint32_t> ids(ctx.num_tokens);
+  for (size_t i = 0; i < ctx.num_tokens; ++i) ids[i] = ContextTokenAt(ctx, i);
+  return ids;
+}
+
 SyntheticModel::SyntheticModel(const ModelConfig& config, uint64_t model_seed)
     : config_(config), model_seed_(model_seed) {
   if (config_.num_layers == 0 || config_.sim_channels == 0) {
@@ -77,8 +89,32 @@ KVCache SyntheticModel::PrefillRange(const ContextSpec& ctx, size_t begin,
   }
   const size_t L = config_.num_layers;
   const size_t C = config_.sim_channels;
-  const size_t T = ctx.num_tokens;
   KVCache cache(L, end - begin, C);
+
+  const size_t pt = std::min(ctx.prefix_tokens, ctx.num_tokens);
+  if (pt == 0) {
+    FillRangeInto(cache, 0, ctx.seed, ctx.num_tokens, begin, end);
+    return cache;
+  }
+  // Composed context: the prefix span is generated exactly as the standalone
+  // family context {prefix_seed, pt} — bit-identical across every member —
+  // and the suffix from the member's own seed over its absolute positions.
+  if (begin < pt) {
+    FillRangeInto(cache, 0, ctx.prefix_seed, pt, begin, std::min(end, pt));
+  }
+  if (end > pt) {
+    const size_t sfx_begin = std::max(begin, pt);
+    FillRangeInto(cache, sfx_begin - begin, ctx.seed, ctx.num_tokens, sfx_begin,
+                  end);
+  }
+  return cache;
+}
+
+void SyntheticModel::FillRangeInto(KVCache& cache, size_t row_offset,
+                                   uint64_t seed, size_t T, size_t begin,
+                                   size_t end) const {
+  const size_t L = config_.num_layers;
+  const size_t C = config_.sim_channels;
 
   for (size_t l = 0; l < L; ++l) {
     Tensor& K = cache.layer(l).k;
@@ -88,7 +124,7 @@ KVCache SyntheticModel::PrefillRange(const ContextSpec& ctx, size_t begin,
       const uint64_t chan_key = Mix(model_seed_, (l << 20) | c);
       // Context-specific offset and slow drift: shared-across-contexts AC
       // tables must absorb these for raw values, but deltas cancel them.
-      const uint64_t ctx_key = Mix(ctx.seed, chan_key);
+      const uint64_t ctx_key = Mix(seed, chan_key);
       const double off_k = NoiseGaussian(Mix(ctx_key, 1)) * 0.8 * p.scale_k;
       const double off_v = NoiseGaussian(Mix(ctx_key, 2)) * 0.8 * p.scale_v;
       const double slope_k = NoiseGaussian(Mix(ctx_key, 3)) * 0.5 * p.scale_k;
@@ -115,15 +151,16 @@ KVCache SyntheticModel::PrefillRange(const ContextSpec& ctx, size_t begin,
                                              static_cast<double>(T - 1) -
                                          1.0
                                    : 0.0;
-          K.At(t - begin, c) = static_cast<float>(p.mean_k + off_k + slope_k * pos +
-                                                  p.scale_k * yk);
-          V.At(t - begin, c) = static_cast<float>(p.mean_v + off_v + slope_v * pos +
-                                                  p.scale_v * yv);
+          K.At(row_offset + t - begin, c) =
+              static_cast<float>(p.mean_k + off_k + slope_k * pos +
+                                 p.scale_k * yk);
+          V.At(row_offset + t - begin, c) =
+              static_cast<float>(p.mean_v + off_v + slope_v * pos +
+                                 p.scale_v * yv);
         }
       }
     }
   }
-  return cache;
 }
 
 std::vector<double> SyntheticModel::TokenImportance(const ContextSpec& ctx) const {

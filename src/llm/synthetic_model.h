@@ -35,10 +35,29 @@ namespace cachegen {
 
 // A context to be prefilled: identified by a seed (stands in for the text)
 // and a token count.
+//
+// Shared-prefix composition: when prefix_tokens > 0, the first prefix_tokens
+// tokens are the *prefix family's* content — generated exactly as the
+// standalone context {prefix_seed, prefix_tokens} would be, so every family
+// member's prefix KV (and surrogate token ids) is bit-identical regardless
+// of the member's total length. That identity is what makes the prefix
+// subsystem's content-addressed chunk dedup sound: two tenants sharing an
+// 8k-token system prompt produce byte-identical prefix bitstreams. The
+// remaining tokens [prefix_tokens, num_tokens) are the member's own suffix,
+// generated from `seed`.
 struct ContextSpec {
   uint64_t seed = 0;
   size_t num_tokens = 0;
+  uint64_t prefix_seed = 0;
+  size_t prefix_tokens = 0;  // 0 = no shared prefix (plain context)
 };
+
+// Deterministic surrogate token ids ("the text") for a context. Token i of a
+// composed context comes from the prefix family's stream when
+// i < prefix_tokens, so family members agree token-for-token over the shared
+// span — the identity the radix prefix index matches on.
+uint32_t ContextTokenAt(const ContextSpec& ctx, size_t i);
+std::vector<uint32_t> ContextTokenIds(const ContextSpec& ctx);
 
 class SyntheticModel {
  public:
@@ -70,6 +89,12 @@ class SyntheticModel {
     float scale_k, scale_v;
     float rho;
   };
+
+  // Generate tokens [begin, end) of the PLAIN context (seed, T) into cache
+  // rows starting at row_offset. PrefillRange composes prefix and suffix
+  // segments out of this.
+  void FillRangeInto(KVCache& cache, size_t row_offset, uint64_t seed, size_t T,
+                     size_t begin, size_t end) const;
 
   const ChannelParams& Params(size_t layer, size_t channel) const {
     return params_[layer * config_.sim_channels + channel];

@@ -1,0 +1,131 @@
+#include "prefix/radix_index.h"
+
+#include <algorithm>
+
+namespace cachegen {
+
+RadixPrefixIndex::RadixPrefixIndex() : root_(std::make_unique<Node>()) {}
+RadixPrefixIndex::~RadixPrefixIndex() = default;
+
+namespace {
+
+// Length of the common prefix of two token runs.
+size_t MatchLen(std::span<const uint32_t> a, std::span<const uint32_t> b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+void RadixPrefixIndex::Insert(std::span<const uint32_t> tokens) {
+  Node* node = root_.get();
+  ++node->refs;
+  size_t pos = 0;
+  while (pos < tokens.size()) {
+    const auto it = node->kids.find(tokens[pos]);
+    if (it == node->kids.end()) {
+      // Fresh branch: one compressed edge holds the whole remainder.
+      Edge edge;
+      edge.label.assign(tokens.begin() + static_cast<ptrdiff_t>(pos),
+                        tokens.end());
+      edge.child = std::make_unique<Node>();
+      edge.child->refs = 1;
+      edge.child->ends = 1;
+      node->kids.emplace(tokens[pos], std::move(edge));
+      ++sequences_;
+      return;
+    }
+    Edge& edge = it->second;
+    const size_t m = MatchLen(edge.label, tokens.subspan(pos));
+    if (m < edge.label.size()) {
+      // Diverges inside the compressed label: split the edge at the
+      // divergence point. The new intermediate node inherits the old child
+      // (and its refs — every sequence through the old edge passes it).
+      auto mid = std::make_unique<Node>();
+      mid->refs = edge.child->refs;
+      Edge tail;
+      tail.label.assign(edge.label.begin() + static_cast<ptrdiff_t>(m),
+                        edge.label.end());
+      tail.child = std::move(edge.child);
+      mid->kids.emplace(tail.label.front(), std::move(tail));
+      edge.label.resize(m);
+      edge.child = std::move(mid);
+    }
+    node = edge.child.get();
+    ++node->refs;
+    pos += m;
+    // After a split the remainder of `tokens` (if any) continues as a fresh
+    // branch below the intermediate on the next loop turn — its first token
+    // differs from the tail edge's first token by construction.
+  }
+  ++node->ends;
+  ++sequences_;
+}
+
+bool RadixPrefixIndex::Erase(std::span<const uint32_t> tokens) {
+  // Walk first without mutating: the exact sequence exists only when every
+  // edge label is consumed whole and the final node has ends > 0, so a
+  // failed erase changes nothing.
+  struct Step {
+    Node* parent;
+    uint32_t key;
+  };
+  std::vector<Step> path;
+  Node* node = root_.get();
+  size_t pos = 0;
+  while (pos < tokens.size()) {
+    const auto it = node->kids.find(tokens[pos]);
+    if (it == node->kids.end()) return false;
+    Edge& edge = it->second;
+    const size_t m = MatchLen(edge.label, tokens.subspan(pos));
+    if (m < edge.label.size()) return false;  // ends mid-edge: never inserted
+    path.push_back({node, tokens[pos]});
+    node = edge.child.get();
+    pos += m;
+  }
+  if (node->ends == 0) return false;
+
+  --node->ends;
+  --sequences_;
+  // Insert counted the root plus every edge child once; mirror that here.
+  --root_->refs;
+  for (const Step& s : path) --s.parent->kids.at(s.key).child->refs;
+  // Prune at the shallowest zero-ref child: its whole subtree lost its last
+  // sequence and goes with it. Shared branches (refs > 0) survive.
+  for (const Step& s : path) {
+    const auto it = s.parent->kids.find(s.key);
+    if (it->second.child->refs == 0) {
+      s.parent->kids.erase(it);
+      break;
+    }
+  }
+  return true;
+}
+
+size_t RadixPrefixIndex::LongestPrefixTokens(
+    std::span<const uint32_t> tokens) const {
+  const Node* node = root_.get();
+  size_t matched = 0;
+  while (matched < tokens.size()) {
+    const auto it = node->kids.find(tokens[matched]);
+    if (it == node->kids.end()) break;
+    const Edge& edge = it->second;
+    const size_t m = MatchLen(edge.label, tokens.subspan(matched));
+    matched += m;
+    if (m < edge.label.size()) break;  // diverged mid-edge
+    node = edge.child.get();
+  }
+  return matched;
+}
+
+size_t RadixPrefixIndex::CountNodes(const Node& n) {
+  size_t total = 1;
+  for (const auto& [key, edge] : n.kids) total += CountNodes(*edge.child);
+  return total;
+}
+
+size_t RadixPrefixIndex::nodes() const { return CountNodes(*root_); }
+
+}  // namespace cachegen

@@ -4,7 +4,11 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "common/sha256.h"
 
 namespace cachegen {
 
@@ -15,6 +19,19 @@ namespace {
 bool IsSafeIdChar(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+// Process-wide mangled -> original map. Bounded by the number of distinct
+// unsafe ids a process ever sanitizes (each entry is two short strings);
+// persistence across restarts is the cold tier manifest's job.
+std::mutex& ReverseMapMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, std::string>& ReverseMap() {
+  static std::unordered_map<std::string, std::string> map;
+  return map;
 }
 
 }  // namespace
@@ -44,17 +61,32 @@ std::string SanitizeContextId(const std::string& context_id) {
   if (safe) return context_id;
 
   std::string cleaned;
-  cleaned.reserve(std::min<size_t>(context_id.size(), 48) + 20);
+  cleaned.reserve(std::min<size_t>(context_id.size(), 48) + 34);
   for (char c : context_id) {
     if (cleaned.size() >= 48) break;
     cleaned.push_back(IsSafeIdChar(c) ? c : '_');
   }
-  char hash[17];
-  std::snprintf(hash, sizeof(hash), "%016llx",
-                static_cast<unsigned long long>(Fnv1a64(context_id)));
-  // '%' is not in the pass-through alphabet, so no safe id can ever forge a
-  // mangled name and collide with a different mangled id.
-  return cleaned + "%" + hash;
+  // 128 bits of SHA-256: collision-resistant against adversarial tenants,
+  // short enough to stay well inside filesystem name limits. '%' is not in
+  // the pass-through alphabet, so no safe id can ever forge a mangled name
+  // and collide with a different mangled id.
+  std::string mangled = cleaned + "%" + Sha256Hex(Sha256Of(context_id), 16);
+  {
+    std::lock_guard<std::mutex> lock(ReverseMapMutex());
+    ReverseMap().emplace(mangled, context_id);
+  }
+  return mangled;
+}
+
+std::optional<std::string> RecoverContextId(const std::string& sanitized) {
+  if (sanitized.find('%') == std::string::npos) {
+    // Pass-through namespace: sanitization was the identity.
+    return sanitized;
+  }
+  std::lock_guard<std::mutex> lock(ReverseMapMutex());
+  const auto it = ReverseMap().find(sanitized);
+  if (it == ReverseMap().end()) return std::nullopt;
+  return it->second;
 }
 
 void KVStore::PutBatch(const std::string& context_id,

@@ -19,20 +19,29 @@
 
 namespace cachegen {
 
-// FNV-1a 64-bit hash, independent of std::hash so id mangling and shard
-// placement are stable across platforms and runs.
+// FNV-1a 64-bit hash, independent of std::hash so shard placement is stable
+// across platforms and runs. NOT collision-resistant — never use it where an
+// adversarial collision matters (id mangling uses SHA-256, below).
 uint64_t Fnv1a64(const std::string& s);
 
 // Map an arbitrary context id onto a single safe directory-name component.
 // Ids made of [A-Za-z0-9._-] (other than "." / "..") pass through unchanged;
 // anything else — path separators, "..", control bytes, over-long ids — is
-// replaced by a cleaned prefix plus '%' plus an FNV-1a hash of the original
-// id. Since '%' never passes through, the mangled namespace is disjoint
-// from the pass-through namespace, and no id can escape the store root.
-// Distinctness of two mangled ids is hash-probabilistic (64-bit FNV-1a is
-// not collision-resistant); adversarial multi-tenant isolation needs a
-// cryptographic digest here.
+// replaced by a cleaned prefix plus '%' plus a truncated SHA-256 digest of
+// the original id. Since '%' never passes through, the mangled namespace is
+// disjoint from the pass-through namespace, and no id can escape the store
+// root. The digest is cryptographic (128 bits of SHA-256), so an adversarial
+// tenant cannot engineer a mangled-id collision to poison another tenant's
+// cache entry. Every mangling is additionally remembered in a process-wide
+// reverse map so mangled ids stay recoverable (RecoverContextId); restart
+// recovery across processes uses the cold tier's persistent manifest.
 std::string SanitizeContextId(const std::string& context_id);
+
+// The original id behind a '%'-mangled name produced by SanitizeContextId in
+// this process; pass-through names return themselves. nullopt for mangled
+// names this process never produced (e.g. directories adopted from a
+// previous run without a manifest entry).
+std::optional<std::string> RecoverContextId(const std::string& sanitized);
 
 struct ChunkKey {
   std::string context_id;

@@ -1,4 +1,4 @@
-// PinGuard: RAII ownership of one ShardedKVStore context pin.
+// PinGuard: RAII ownership of one CacheTier context pin.
 //
 // The cluster's serving path pins a context while it is being streamed,
 // assembled, or written back. A bare Pin()/Unpin() pair leaks the pin when
@@ -6,13 +6,15 @@
 // — and a leaked pin is permanent: the context can never be evicted again,
 // silently shrinking the effective cache capacity. PinGuard ties the unpin
 // to scope exit; Release() drops it early when ordering matters (e.g. before
-// handing a worker slot back to the coordinator).
+// handing a worker slot back to the coordinator). Works against any
+// CacheTier (ShardedKVStore, TieredKVStore, PrefixCache) — each tier's
+// Unpin releases whatever pin set its Pin/LookupAndPin took.
 #pragma once
 
 #include <string>
 #include <utility>
 
-#include "storage/sharded_kv_store.h"
+#include "storage/cache_tier.h"
 
 namespace cachegen {
 
@@ -22,27 +24,27 @@ class PinGuard {
   PinGuard() = default;
 
   // Take a fresh pin (write-back path: pin regardless of presence).
-  static PinGuard Acquire(ShardedKVStore& store, std::string context_id) {
-    store.Pin(context_id);
-    return PinGuard(&store, std::move(context_id));
+  static PinGuard Acquire(CacheTier& tier, std::string context_id) {
+    tier.Pin(context_id);
+    return PinGuard(&tier, std::move(context_id));
   }
 
   // Adopt a pin some other call already took (LookupAndPin hit path).
-  static PinGuard Adopt(ShardedKVStore& store, std::string context_id) {
-    return PinGuard(&store, std::move(context_id));
+  static PinGuard Adopt(CacheTier& tier, std::string context_id) {
+    return PinGuard(&tier, std::move(context_id));
   }
 
   PinGuard(const PinGuard&) = delete;
   PinGuard& operator=(const PinGuard&) = delete;
 
   PinGuard(PinGuard&& other) noexcept
-      : store_(std::exchange(other.store_, nullptr)),
+      : tier_(std::exchange(other.tier_, nullptr)),
         context_id_(std::move(other.context_id_)) {}
 
   PinGuard& operator=(PinGuard&& other) noexcept {
     if (this != &other) {
       Release();
-      store_ = std::exchange(other.store_, nullptr);
+      tier_ = std::exchange(other.tier_, nullptr);
       context_id_ = std::move(other.context_id_);
     }
     return *this;
@@ -52,19 +54,19 @@ class PinGuard {
 
   // Drop the pin now (idempotent); the destructor becomes a no-op.
   void Release() {
-    if (store_ != nullptr) {
-      store_->Unpin(context_id_);
-      store_ = nullptr;
+    if (tier_ != nullptr) {
+      tier_->Unpin(context_id_);
+      tier_ = nullptr;
     }
   }
 
-  bool active() const { return store_ != nullptr; }
+  bool active() const { return tier_ != nullptr; }
 
  private:
-  PinGuard(ShardedKVStore* store, std::string context_id)
-      : store_(store), context_id_(std::move(context_id)) {}
+  PinGuard(CacheTier* tier, std::string context_id)
+      : tier_(tier), context_id_(std::move(context_id)) {}
 
-  ShardedKVStore* store_ = nullptr;
+  CacheTier* tier_ = nullptr;
   std::string context_id_;
 };
 

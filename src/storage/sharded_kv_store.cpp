@@ -201,6 +201,17 @@ bool ShardedKVStore::LookupAndPin(const std::string& context_id, double t_s) {
   return true;
 }
 
+TierLookup ShardedKVStore::LookupAndPin(const std::string& context_id,
+                                        const ContextSpec& spec, double t_s) {
+  TierLookup out;
+  if (LookupAndPin(context_id, t_s)) {
+    out.tier = KVTier::kHot;
+    out.covered_tokens = spec.num_tokens;
+    out.pinned = true;
+  }
+  return out;
+}
+
 void ShardedKVStore::Touch(const std::string& context_id, double t_s) {
   Shard& shard = ShardFor(context_id);
   std::lock_guard lock(shard.mu);

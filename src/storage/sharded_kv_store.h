@@ -26,11 +26,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "storage/cache_tier.h"
 #include "storage/kv_store.h"
 
 namespace cachegen {
 
-class ShardedKVStore final : public KVStore {
+class ShardedKVStore final : public KVStore, public CacheTier {
  public:
   struct Options {
     size_t num_shards = 8;
@@ -95,21 +96,29 @@ class ShardedKVStore final : public KVStore {
   uint64_t TotalBytes() const override;
   uint64_t ContextBytes(const std::string& context_id) const override;
 
-  // --- cluster-facing cache operations --------------------------------------
+  // --- cluster-facing cache operations (CacheTier) --------------------------
   // Atomically: test presence, count hit/miss, LRU-touch at time `t_s`
   // (virtual time from the cluster clock keeps eviction order deterministic),
   // and pin on hit so the context survives until Unpin.
   bool LookupAndPin(const std::string& context_id, double t_s);
 
+  // CacheTier view of the same operation: all-or-nothing (no partial
+  // coverage), kHot on hit. `spec` is only used to report token/chunk totals.
+  TierLookup LookupAndPin(const std::string& context_id, const ContextSpec& spec,
+                          double t_s) override;
+
   // Pin regardless of presence (used while a miss is being written back).
-  void Pin(const std::string& context_id);
-  void Unpin(const std::string& context_id);
+  void Pin(const std::string& context_id) override;
+  void Unpin(const std::string& context_id) override;
 
   // LRU-touch without hit/miss accounting. Put() deliberately does not
   // refresh recency (it has no virtual-time source), so a write-back must
   // Touch the context or it would look idle-since-t=0 and be the first
   // eviction victim.
-  void Touch(const std::string& context_id, double t_s);
+  void Touch(const std::string& context_id, double t_s) override;
+
+  KVStore& kv() override { return *this; }
+  const ShardedKVStore* hot_tier() const override { return this; }
 
   Stats stats() const;
   size_t num_shards() const { return shards_.size(); }

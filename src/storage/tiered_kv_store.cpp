@@ -1,7 +1,9 @@
 #include "storage/tiered_kv_store.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
 #include "common/thread_pool.h"
@@ -17,6 +19,87 @@ namespace {
 // it, so a crash mid-persist can never resurrect a partial chunk set. Not a
 // ".cgkv" file, so byte accounting and chunk parsing both ignore it.
 constexpr const char kColdCompleteSentinel[] = "COMPLETE";
+
+// Cold-tier manifest: one file at the root mapping each persisted context's
+// DIRECTORY name back to its original id and LRU stamp, so restart adoption
+// recovers '%'-mangled ids (which hash one way) and recency. Rewritten
+// whole (temp + rename) by the background writer once per queue drain (per
+// job would make an N-demotion burst O(N^2) in manifest I/O) — a crash
+// between drains loses at most the latest rewrite, and adoption degrades to
+// the sentinel + round-trip rules for unlisted directories.
+constexpr const char kColdManifestName[] = "MANIFEST";
+constexpr const char kColdManifestHeader[] = "cachegen-cold-manifest-v1";
+
+std::string HexEncode(const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * s.size());
+  for (unsigned char c : s) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+
+std::optional<std::string> HexDecode(const std::string& s) {
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  if (s.size() % 2 != 0) return std::nullopt;
+  std::string out;
+  out.reserve(s.size() / 2);
+  for (size_t i = 0; i < s.size(); i += 2) {
+    const int hi = nibble(s[i]);
+    const int lo = nibble(s[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+struct ManifestRow {
+  std::string original_id;
+  double last_touch_s = 0.0;
+};
+
+// Exact double round-trip: the LRU stamp is serialized as its bit pattern.
+uint64_t DoubleBits(double d) {
+  uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+double BitsDouble(uint64_t u) {
+  double d = 0.0;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+std::map<std::string, ManifestRow> ReadColdManifest(
+    const std::filesystem::path& root) {
+  std::map<std::string, ManifestRow> rows;
+  std::ifstream in(root / kColdManifestName);
+  if (!in) return rows;
+  std::string header;
+  if (!std::getline(in, header) || header != kColdManifestHeader) return rows;
+  std::string dir, hex_id, touch_hex;
+  while (in >> dir >> hex_id >> touch_hex) {
+    const auto id = HexDecode(hex_id);
+    if (!id) continue;  // corrupt row: skip, adoption falls back to rules
+    uint64_t bits = 0;
+    try {
+      bits = std::stoull(touch_hex, nullptr, 16);
+    } catch (...) {
+      continue;
+    }
+    rows[dir] = ManifestRow{*id, BitsDouble(bits)};
+  }
+  return rows;
+}
+
 }  // namespace
 
 TieredKVStore::TieredKVStore(Options opts,
@@ -42,6 +125,8 @@ TieredKVStore::~TieredKVStore() {
 
 void TieredKVStore::AdoptPersistedColdContexts() {
   if (!fs::exists(opts_.cold_root)) return;
+  const std::map<std::string, ManifestRow> manifest =
+      ReadColdManifest(opts_.cold_root);
   std::vector<std::string> erase_ids;
   {
     std::lock_guard<std::mutex> lock(cold_mu_);
@@ -55,11 +140,25 @@ void TieredKVStore::AdoptPersistedColdContexts() {
         fs::remove_all(dir.path(), ec);
         continue;
       }
-      const std::string id = dir.path().filename().string();
-      // Only pass-through-safe directory names round-trip back to context
-      // ids; '%'-mangled names hash one way and stay orphaned until a
-      // persistent manifest exists (ROADMAP).
-      if (SanitizeContextId(id) != id) continue;
+      const std::string dir_name = dir.path().filename().string();
+      // Recover the original id: the manifest is authoritative (it is the
+      // only way back from a '%'-mangled name, and it carries the LRU
+      // stamp); unlisted directories fall back to the pass-through
+      // round-trip rule; names neither recovers are unreachable forever —
+      // reclaim them rather than leaking dead bytes against the budget.
+      std::string id;
+      double last_touch = 0.0;
+      const auto mit = manifest.find(dir_name);
+      if (mit != manifest.end()) {
+        id = mit->second.original_id;
+        last_touch = mit->second.last_touch_s;
+      } else if (SanitizeContextId(dir_name) == dir_name) {
+        id = dir_name;
+      } else {
+        std::error_code ec;
+        fs::remove_all(dir.path(), ec);
+        continue;
+      }
       auto entry = std::make_shared<ColdEntry>();
       for (const auto& f : fs::directory_iterator(dir.path())) {
         if (!f.is_regular_file() || f.path().extension() != ".cgkv") continue;
@@ -75,6 +174,7 @@ void TieredKVStore::AdoptPersistedColdContexts() {
       }
       if (entry->chunk_bytes.empty()) continue;
       entry->persisted = true;
+      entry->last_touch_s = last_touch;
       cold_bytes_ += entry->bytes;
       cold_.emplace(id, std::move(entry));
     }
@@ -82,6 +182,42 @@ void TieredKVStore::AdoptPersistedColdContexts() {
     EnforceColdCapacityLocked(nullptr, &erase_ids);
   }
   for (std::string& id : erase_ids) EnqueueErase(std::move(id));
+}
+
+void TieredKVStore::SyncManifestToDisk() {
+  // Snapshot under the lock, write without it.
+  std::vector<std::pair<std::string, double>> rows;  // (original id, touch)
+  {
+    std::lock_guard<std::mutex> lock(cold_mu_);
+    rows.reserve(cold_.size());
+    for (const auto& [id, e] : cold_) {
+      if (e->persisted && !e->dead) rows.emplace_back(id, e->last_touch_s);
+    }
+  }
+  const fs::path final_path = opts_.cold_root / kColdManifestName;
+  const fs::path tmp = opts_.cold_root / (std::string(kColdManifestName) + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // best-effort: adoption degrades to the fallback rules
+    out << kColdManifestHeader << '\n';
+    for (const auto& [id, touch] : rows) {
+      char bits[17];
+      std::snprintf(bits, sizeof(bits), "%016llx",
+                    static_cast<unsigned long long>(DoubleBits(touch)));
+      out << SanitizeContextId(id) << ' ' << HexEncode(id) << ' ' << bits
+          << '\n';
+    }
+    out.flush();
+    out.close();
+    if (out.fail()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) fs::remove(tmp, ec);
 }
 
 // --- demotion (hot -> cold) --------------------------------------------------
@@ -102,6 +238,7 @@ void TieredKVStore::OnHotEviction(ShardedKVStore::EvictedContext&& victim) {
       // and chunk set, so the new persist pass simply overwrites the old
       // files — no erase needed.
       slot->dead = true;
+      ReleasePendingLocked(*slot);
       cold_bytes_ -= slot->bytes;
     }
     entry = std::make_shared<ColdEntry>();
@@ -114,12 +251,65 @@ void TieredKVStore::OnHotEviction(ShardedKVStore::EvictedContext&& victim) {
     entry->buffer = std::move(victim.chunks);
     slot = entry;
     cold_bytes_ += entry->bytes;
+    entry->pending_counted = true;
+    pending_demotion_bytes_ += entry->bytes;
+    pending_fifo_.emplace_back(id, entry);
     demotions_.fetch_add(1, std::memory_order_relaxed);
     demoted_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
     EnforceColdCapacityLocked(&id, &erase_ids);
+    EnforcePendingCapLocked(&erase_ids);
   }
   for (std::string& eid : erase_ids) EnqueueErase(std::move(eid));
   EnqueuePersist(id, std::move(entry));
+}
+
+void TieredKVStore::ReleasePendingLocked(ColdEntry& entry) {
+  if (entry.pending_counted) {
+    entry.pending_counted = false;
+    pending_demotion_bytes_ -= entry.bytes;
+  }
+  // Lazily trim rows whose entries stopped pending (persisted, claimed,
+  // replaced, dropped). Rows leave in roughly the same FIFO order they
+  // entered, so front-trimming on every state change keeps the deque
+  // proportional to the entries still awaiting the writer — without it,
+  // every demotion of a long-lived store would leak its row forever (the
+  // over-cap walk alone never runs when the cap is 0 or never exceeded).
+  while (!pending_fifo_.empty() && !pending_fifo_.front().second->pending_counted) {
+    pending_fifo_.pop_front();
+  }
+}
+
+void TieredKVStore::EnforcePendingCapLocked(
+    std::vector<std::string>* erase_ids) {
+  if (opts_.max_pending_demotion_bytes == 0) return;
+  // Drop-oldest-uncommitted: the entries that have waited longest for the
+  // writer are sacrificed first — deterministic (FIFO demotion order, not
+  // drain speed) because `pending_counted` only flips under cold_mu_ and a
+  // dropped entry's persist job is guaranteed to still be behind us in the
+  // job FIFO (it clears pending only at completion). Dropping removes the
+  // context from the cold tier entirely: exactly what a bare sharded
+  // eviction would have done, so the failure mode under a demotion burst is
+  // a cold MISS later, not unbounded RAM now.
+  while (pending_demotion_bytes_ > opts_.max_pending_demotion_bytes &&
+         !pending_fifo_.empty()) {
+    auto [drop_id, drop] = std::move(pending_fifo_.front());
+    pending_fifo_.pop_front();
+    // Stale FIFO rows: already persisted, claimed by a promotion, replaced,
+    // or evicted — their bytes no longer count.
+    if (!drop->pending_counted || drop->dead || drop->persisted) continue;
+    ReleasePendingLocked(*drop);
+    drop->dead = true;
+    cold_bytes_ -= drop->bytes;
+    const auto it = cold_.find(drop_id);
+    if (it != cold_.end() && it->second == drop) cold_.erase(it);
+    demotion_drops_.fetch_add(1, std::memory_order_relaxed);
+    demotion_dropped_bytes_.fetch_add(drop->bytes, std::memory_order_relaxed);
+    // Nothing of THIS incarnation reached disk, but an older persisted
+    // incarnation's files may be shadowed under the same directory; the
+    // erase job reclaims them (FIFO order makes it run after our dead
+    // persist job no-ops).
+    erase_ids->push_back(drop_id);
+  }
 }
 
 void TieredKVStore::EnforceColdCapacityLocked(
@@ -141,6 +331,7 @@ void TieredKVStore::EnforceColdCapacityLocked(
     if (!victim) return;
     const auto it = cold_.find(*victim);
     it->second->dead = true;
+    ReleasePendingLocked(*it->second);
     cold_bytes_ -= it->second->bytes;
     cold_evictions_.fetch_add(1, std::memory_order_relaxed);
     cold_evicted_bytes_.fetch_add(it->second->bytes,
@@ -194,6 +385,7 @@ KVTier TieredKVStore::LookupAndPin(const std::string& context_id, double t_s) {
     }
     entry = it->second;
     entry->dead = true;  // claimed by this promotion
+    ReleasePendingLocked(*entry);
     cold_bytes_ -= entry->bytes;
     cold_.erase(it);
     if (entry->persisted) {
@@ -296,6 +488,18 @@ KVTier TieredKVStore::LookupAndPin(const std::string& context_id, double t_s) {
   return KVTier::kCold;
 }
 
+TierLookup TieredKVStore::LookupAndPin(const std::string& context_id,
+                                       const ContextSpec& spec, double t_s) {
+  TierLookup out;
+  out.tier = LookupAndPin(context_id, t_s);
+  if (out.tier != KVTier::kMiss) {
+    out.covered_tokens = spec.num_tokens;
+    out.any_cold = out.tier == KVTier::kCold;
+    out.pinned = true;
+  }
+  return out;
+}
+
 // --- background writer -------------------------------------------------------
 
 void TieredKVStore::EnqueuePersist(const std::string& context_id,
@@ -342,15 +546,17 @@ void TieredKVStore::EnqueuePersist(const std::string& context_id,
       entry->writing = false;
       if (entry->dead) {
         // Promoted/evicted while writing: whatever landed on disk is
-        // orphaned.
+        // orphaned. (Its pending accounting was released where it died.)
         discard_files = true;
       } else if (ok) {
         entry->persisted = true;
+        ReleasePendingLocked(*entry);
         entry->buffer.clear();
         entry->buffer.shrink_to_fit();
       }
       // !ok && !dead: disk refused (full/unwritable). The entry simply
-      // stays memory-resident; reads and promotions keep using the buffer.
+      // stays memory-resident (and keeps counting against the pending cap);
+      // reads and promotions keep using the buffer.
     }
     if (discard_files) {
       // Inline is safe: this runs at the front of the FIFO, so a newer
@@ -360,6 +566,9 @@ void TieredKVStore::EnqueuePersist(const std::string& context_id,
       } catch (...) {
       }
     }
+    // The manifest is synced once per queue drain, not per job: a demotion
+    // burst of N contexts would otherwise rewrite an O(N)-row file N times.
+    manifest_dirty_.store(true, std::memory_order_release);
   });
 }
 
@@ -376,6 +585,7 @@ void TieredKVStore::EnqueueErase(std::string context_id) {
       cold_backend_->EraseContext(context_id);
     } catch (...) {
     }
+    manifest_dirty_.store(true, std::memory_order_release);
   });
 }
 
@@ -406,6 +616,16 @@ void TieredKVStore::DrainJobs() {
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       if (jobs_.empty()) {
+        // Settle the manifest before retiring, so any waiter released by
+        // Flush() observes disk state (chunks AND manifest) in sync. Jobs
+        // that arrive while writing are picked up by another loop turn —
+        // only the true final drain retires the drainer role.
+        lock.unlock();
+        if (manifest_dirty_.exchange(false, std::memory_order_acq_rel)) {
+          SyncManifestToDisk();
+        }
+        lock.lock();
+        if (!jobs_.empty()) continue;
         drainer_active_ = false;
         queue_cv_.notify_all();
         return;
@@ -526,6 +746,7 @@ void TieredKVStore::EraseContext(const std::string& context_id) {
     if (it != cold_.end()) {
       found = true;
       it->second->dead = true;
+      ReleasePendingLocked(*it->second);
       cold_bytes_ -= it->second->bytes;
       cold_.erase(it);
     }
@@ -577,11 +798,15 @@ TieredKVStore::Stats TieredKVStore::stats() const {
   s.promoted_bytes = promoted_bytes_.load(std::memory_order_relaxed);
   s.cold_evictions = cold_evictions_.load(std::memory_order_relaxed);
   s.cold_evicted_bytes = cold_evicted_bytes_.load(std::memory_order_relaxed);
+  s.demotion_drops = demotion_drops_.load(std::memory_order_relaxed);
+  s.demotion_dropped_bytes =
+      demotion_dropped_bytes_.load(std::memory_order_relaxed);
   s.hot_tier = hot_->stats();
   s.hot_bytes = s.hot_tier.stored_bytes;
   {
     std::lock_guard<std::mutex> lock(cold_mu_);
     s.cold_bytes = cold_bytes_;
+    s.pending_demotion_bytes = pending_demotion_bytes_;
   }
   return s;
 }

@@ -41,9 +41,12 @@
 // Restart: the constructor adopts contexts already present under cold_root
 // that carry the per-context completion sentinel the writer commits after
 // the last chunk (directories without it are mid-persist debris from a
-// crash and are reclaimed) and whose directory names round-trip through
-// SanitizeContextId (mangled ids hash one way and cannot be recovered
-// without a persistent manifest — see ROADMAP).
+// crash and are reclaimed). A small on-disk manifest (rewritten by the
+// background writer once per queue drain) maps each directory back to
+// its original context id and LRU stamp, so '%'-mangled ids and recency
+// survive process churn; sentinel-complete directories that are neither in
+// the manifest nor round-trippable through SanitizeContextId are
+// unreachable forever and are reclaimed.
 #pragma once
 
 #include <atomic>
@@ -61,15 +64,15 @@
 #include <utility>
 #include <vector>
 
+#include "storage/cache_tier.h"
 #include "storage/kv_store.h"
 #include "storage/sharded_kv_store.h"
 
 namespace cachegen {
 
-// Which tier satisfied a lookup — the cluster's third request outcome.
-enum class KVTier { kMiss = 0, kHot, kCold };
+// KVTier (which tier satisfied a lookup) lives in storage/cache_tier.h.
 
-class TieredKVStore final : public KVStore {
+class TieredKVStore final : public KVStore, public CacheTier {
  public:
   struct Options {
     ShardedKVStore::Options hot;
@@ -78,6 +81,14 @@ class TieredKVStore final : public KVStore {
     // Cold-tier byte budget; 0 = unbounded. Like the hot tier, the cold
     // tier never evicts its last context.
     uint64_t cold_capacity_bytes = 0;
+    // Demotion-queue backpressure: deterministic cap on the bytes of evicted
+    // bitstreams buffered in RAM awaiting the background writer (0 =
+    // unbounded). When a demotion would exceed it, pending-but-uncommitted
+    // entries are dropped OLDEST FIRST (counted in Stats::demotion_drops) —
+    // those contexts fall out of the cold tier entirely, exactly what a bare
+    // sharded eviction would have done, so an eviction burst faster than the
+    // disk degrades gracefully instead of growing RAM without bound.
+    uint64_t max_pending_demotion_bytes = 0;
   };
 
   struct Stats {
@@ -92,6 +103,11 @@ class TieredKVStore final : public KVStore {
     uint64_t promoted_bytes = 0;
     uint64_t cold_evictions = 0;
     uint64_t cold_evicted_bytes = 0;
+    // Backpressure: demotions dropped (with their bytes) because the pending
+    // buffer cap was hit, and the bytes currently awaiting the writer.
+    uint64_t demotion_drops = 0;
+    uint64_t demotion_dropped_bytes = 0;
+    uint64_t pending_demotion_bytes = 0;  // current
     uint64_t hot_bytes = 0;   // current
     uint64_t cold_bytes = 0;  // current (manifest accounting, incl. pending)
     ShardedKVStore::Stats hot_tier;  // raw hot-tier counters
@@ -124,15 +140,24 @@ class TieredKVStore final : public KVStore {
   // needed — and reports kCold. The caller owns one Unpin either way.
   KVTier LookupAndPin(const std::string& context_id, double t_s);
 
+  // CacheTier view of the same operation: all-or-nothing coverage, kHot or
+  // kCold on hit. `spec` is only used to report token totals.
+  TierLookup LookupAndPin(const std::string& context_id, const ContextSpec& spec,
+                          double t_s) override;
+
   // Pin/Unpin/Touch operate on the hot tier (a promoted context is hot).
-  void Pin(const std::string& context_id);
-  void Unpin(const std::string& context_id);
-  void Touch(const std::string& context_id, double t_s);
+  void Pin(const std::string& context_id) override;
+  void Unpin(const std::string& context_id) override;
+  void Touch(const std::string& context_id, double t_s) override;
 
   // Drain the background writer: on return every queued demotion has been
   // persisted (or discarded) and every queued cold erase applied. Makes
   // on-disk state deterministic for tests and restart hand-off.
-  void Flush();
+  void Flush() override;
+
+  KVStore& kv() override { return *this; }
+  const ShardedKVStore* hot_tier() const override { return hot_.get(); }
+  const TieredKVStore* tiered() const override { return this; }
 
   Stats stats() const;
   ShardedKVStore& hot() { return *hot_; }
@@ -152,6 +177,9 @@ class TieredKVStore final : public KVStore {
     bool persisted = false;  // bytes live on disk; buffer released
     bool writing = false;    // writer is reading buffer outside the lock
     bool dead = false;       // evicted/promoted/replaced; writer must discard
+    // Counted against the pending-demotion byte cap; cleared exactly once
+    // when the entry stops being RAM-buffered (persisted, claimed, dropped).
+    bool pending_counted = false;
   };
   using ColdEntryPtr = std::shared_ptr<ColdEntry>;
 
@@ -160,10 +188,20 @@ class TieredKVStore final : public KVStore {
   // Caller holds cold_mu_. Appends ids whose on-disk bytes must be removed.
   void EnforceColdCapacityLocked(const std::string* keep,
                                  std::vector<std::string>* erase_ids);
+  // Caller holds cold_mu_. Uncounts the entry from the pending-demotion cap
+  // (idempotent).
+  void ReleasePendingLocked(ColdEntry& entry);
+  // Caller holds cold_mu_. Drops oldest-uncommitted pending entries until
+  // the pending buffer fits the cap; dropped ids are appended to erase_ids
+  // (stale files of older incarnations still need reclaiming).
+  void EnforcePendingCapLocked(std::vector<std::string>* erase_ids);
   void EnqueuePersist(const std::string& context_id, ColdEntryPtr entry);
   void EnqueueErase(std::string context_id);
   void EnqueueJob(std::function<void()> job);
   void DrainJobs();
+  // Snapshot the persisted-entry manifest under cold_mu_ and rewrite the
+  // on-disk manifest file (temp + rename). Called from background jobs.
+  void SyncManifestToDisk();
 
   Options opts_;
   std::unique_ptr<ShardedKVStore> hot_;
@@ -172,6 +210,11 @@ class TieredKVStore final : public KVStore {
   mutable std::mutex cold_mu_;
   std::unordered_map<std::string, ColdEntryPtr> cold_;
   uint64_t cold_bytes_ = 0;
+  // Demotion backpressure state (cold_mu_): RAM-buffered bytes awaiting the
+  // writer, and the FIFO the drop-oldest policy walks. Entries go stale in
+  // place (persisted/claimed/dropped); the walk skips them lazily.
+  uint64_t pending_demotion_bytes_ = 0;
+  std::deque<std::pair<std::string, ColdEntryPtr>> pending_fifo_;
   // Contexts mid-promotion: a racing lookup for the same id waits for the
   // winner instead of reporting a spurious miss (the entry leaves the
   // manifest before the bytes reach the hot tier).
@@ -186,6 +229,10 @@ class TieredKVStore final : public KVStore {
   std::condition_variable queue_cv_;
   std::deque<std::function<void()>> jobs_;
   bool drainer_active_ = false;
+  // Set by persist/erase jobs; the drainer rewrites the on-disk manifest
+  // once per queue drain (a crash between drains loses at most manifest
+  // freshness — adoption falls back to the sentinel + round-trip rules).
+  std::atomic<bool> manifest_dirty_{false};
 
   std::atomic<uint64_t> hot_hits_{0};
   std::atomic<uint64_t> cold_hits_{0};
@@ -196,6 +243,8 @@ class TieredKVStore final : public KVStore {
   std::atomic<uint64_t> promoted_bytes_{0};
   std::atomic<uint64_t> cold_evictions_{0};
   std::atomic<uint64_t> cold_evicted_bytes_{0};
+  std::atomic<uint64_t> demotion_drops_{0};
+  std::atomic<uint64_t> demotion_dropped_bytes_{0};
 };
 
 }  // namespace cachegen

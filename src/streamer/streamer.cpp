@@ -24,7 +24,7 @@ KVStreamer::KVStreamer(const CostModel& cost, const ModelConfig& model,
 StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
                                 double gpu_share,
                                 std::optional<double> throughput_hint_gbps,
-                                StreamMode mode) const {
+                                StreamMode mode, size_t kv_chunk_limit) const {
   StreamResult result;
   const double t0 = link.now();
   double gpu_free_s = t0;
@@ -42,7 +42,10 @@ StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
   for (size_t i = 0; i < plan.chunks.size(); ++i) {
     const ChunkPlan& chunk = plan.chunks[i];
     StreamConfig config{false, kDefaultFirstLevel, progressive};
-    if (mode == StreamMode::kForceText) {
+    if (mode == StreamMode::kForceText || i >= kv_chunk_limit) {
+      // Either a full miss, or the uncovered tail past a cached prefix:
+      // these tokens exist nowhere as bitstreams, so text + GPU prefill is
+      // the only configuration.
       config = StreamConfig{true, kDefaultFirstLevel};
     } else if (measured_bytes_per_s > 0.0) {
       const AdaptDecision d =

@@ -6,6 +6,7 @@
 // chunk's transmission (§6 pipelining).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -75,9 +76,15 @@ class KVStreamer {
   // Stream all chunks of `plan` over `link`. `throughput_hint_gbps` stands
   // in for prior knowledge of the path (§5.3); without it the first chunk
   // goes out at the default medium encoding level.
+  //
+  // `kv_chunk_limit` is the partial-prefix-hit knob: chunks with index >=
+  // the limit are NOT cached and must ship as text + tail re-prefill, while
+  // chunks below it stream under the adaptive policy. The default (no limit)
+  // leaves every chunk adaptive; 0 is equivalent to kForceText.
   StreamResult Stream(const ContextPlan& plan, Link& link, double gpu_share = 1.0,
                       std::optional<double> throughput_hint_gbps = std::nullopt,
-                      StreamMode mode = StreamMode::kAdaptive) const;
+                      StreamMode mode = StreamMode::kAdaptive,
+                      size_t kv_chunk_limit = SIZE_MAX) const;
 
   const Adapter& adapter() const { return adapter_; }
 

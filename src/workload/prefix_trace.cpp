@@ -1,0 +1,96 @@
+#include "workload/prefix_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cachegen {
+
+namespace {
+
+uint64_t FamilySeed(const PrefixTraceOptions& opts, size_t family) {
+  SplitMix64 mix(opts.seed ^ (0xFA417ULL + family * 0x9E3779B97F4A7C15ULL));
+  return mix.Next();
+}
+
+}  // namespace
+
+ContextSpec PrefixFamilySpec(const PrefixTraceOptions& opts, size_t family,
+                             size_t suffix) {
+  // Identity and length are functions of (trace seed, family, suffix) only,
+  // so pre-storing members and replaying the trace agree.
+  SplitMix64 mix(opts.seed ^ (0x5FF1E5ULL + family * 0x9E3779B97F4A7C15ULL +
+                              suffix * 0xC2B2AE3D27D4EB4FULL));
+  ContextSpec spec;
+  spec.seed = mix.Next();
+  const uint64_t span = opts.suffix_max_tokens > opts.suffix_min_tokens
+                            ? opts.suffix_max_tokens - opts.suffix_min_tokens + 1
+                            : 1;
+  const size_t suffix_tokens =
+      opts.suffix_min_tokens + static_cast<size_t>(mix.Next() % span);
+  spec.num_tokens = opts.prefix_tokens + suffix_tokens;
+  spec.prefix_seed = FamilySeed(opts, family);
+  spec.prefix_tokens = opts.prefix_tokens;
+  return spec;
+}
+
+std::string PrefixFamilyContextId(size_t family, size_t suffix) {
+  return "fam" + std::to_string(family) + "-sfx" + std::to_string(suffix);
+}
+
+std::vector<ClusterRequest> SharedPrefixTrace(const PrefixTraceOptions& opts) {
+  if (opts.num_requests == 0 || opts.num_families == 0 ||
+      opts.suffixes_per_family == 0 || opts.arrival_rate_hz <= 0.0 ||
+      opts.shared_fraction < 0.0 || opts.shared_fraction > 1.0) {
+    throw std::invalid_argument("SharedPrefixTrace: degenerate options");
+  }
+  Rng rng(opts.seed);
+
+  // Zipf CDF over the family pool.
+  std::vector<double> cdf(opts.num_families);
+  double mass = 0.0;
+  for (size_t i = 0; i < opts.num_families; ++i) {
+    mass += 1.0 / std::pow(static_cast<double>(i + 1), opts.family_zipf);
+    cdf[i] = mass;
+  }
+  for (double& c : cdf) c /= mass;
+
+  std::vector<ClusterRequest> trace;
+  trace.reserve(opts.num_requests);
+  double t = 0.0;
+  size_t solo = 0;
+  for (size_t i = 0; i < opts.num_requests; ++i) {
+    t += -std::log(1.0 - rng.NextDouble()) / opts.arrival_rate_hz;
+    ClusterRequest rq;
+    rq.id = i;
+    rq.arrival_s = t;
+    rq.slo_s = opts.slo_s;
+    if (rng.NextDouble() < opts.shared_fraction) {
+      const double u = rng.NextDouble();
+      const size_t family = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      const size_t suffix =
+          static_cast<size_t>(rng.NextU64() % opts.suffixes_per_family);
+      rq.context_id = PrefixFamilyContextId(family, suffix);
+      rq.spec = PrefixFamilySpec(opts, family, suffix);
+    } else {
+      // One-shot context, never repeated and sharing nothing: a guaranteed
+      // miss that keeps the miss scenario populated at every share ratio.
+      SplitMix64 mix(opts.seed ^ (0x5010ULL + solo * 0xD6E8FEB86659FD93ULL));
+      rq.context_id = "solo-" + std::to_string(solo++);
+      rq.spec.seed = mix.Next();
+      const uint64_t span =
+          opts.suffix_max_tokens > opts.suffix_min_tokens
+              ? opts.suffix_max_tokens - opts.suffix_min_tokens + 1
+              : 1;
+      rq.spec.num_tokens = opts.prefix_tokens + opts.suffix_min_tokens +
+                           static_cast<size_t>(mix.Next() % span);
+    }
+    trace.push_back(std::move(rq));
+  }
+  return trace;
+}
+
+}  // namespace cachegen

@@ -1,0 +1,53 @@
+// Shared-prefix serving workload: Zipf-popular prefix FAMILIES (system
+// prompts, few-shot templates, RAG boilerplate) crossed with per-request
+// SUFFIXES — the traffic shape that makes prefix-aware caching pay.
+//
+// Each shared request picks a family by Zipf popularity and one of the
+// family's suffixes; the composed ContextSpec carries the family's
+// prefix_seed/prefix_tokens so every member's prefix KV is bit-identical
+// (see ContextSpec). A repeated (family, suffix) pair is a FULL-hit
+// candidate; a first-seen pair whose family was served before is a
+// PARTIAL-prefix-hit candidate; solo requests (1 - shared_fraction of
+// traffic) are unique one-shot contexts that can only miss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/request_queue.h"
+
+namespace cachegen {
+
+struct PrefixTraceOptions {
+  size_t num_requests = 32;
+  double arrival_rate_hz = 2.0;   // Poisson arrival intensity
+  size_t num_families = 4;        // distinct shared prefixes
+  double family_zipf = 0.9;       // popularity skew across families
+  // Family prefix length in tokens. Chunk-align it (a multiple of the
+  // engine's chunk_tokens) or the last prefix chunk straddles the boundary
+  // and cannot be shared.
+  size_t prefix_tokens = 3000;
+  size_t suffix_min_tokens = 1000;
+  size_t suffix_max_tokens = 3000;
+  // Distinct suffixes per family: small pools repeat (full hits), large
+  // pools keep producing fresh suffixes (partial hits).
+  size_t suffixes_per_family = 6;
+  // Fraction of traffic drawn from the family pools; the rest are unique
+  // solo contexts with no shared prefix.
+  double shared_fraction = 0.5;
+  double slo_s = 2.5;
+  uint64_t seed = 0x9EF1;
+};
+
+// The (deterministic) context a (family, suffix) pair maps to, shared by
+// trace generation and callers that pre-store family members.
+ContextSpec PrefixFamilySpec(const PrefixTraceOptions& opts, size_t family,
+                             size_t suffix);
+std::string PrefixFamilyContextId(size_t family, size_t suffix);
+
+// Poisson arrivals over the family x suffix pools; deterministic in
+// opts.seed. Requests come back sorted by arrival with dense ids 0..n-1.
+std::vector<ClusterRequest> SharedPrefixTrace(const PrefixTraceOptions& opts);
+
+}  // namespace cachegen

@@ -306,5 +306,76 @@ TEST_F(TieredStoreTest, ClusterColdHitStreamsKvNeverForcedText) {
   EXPECT_GT(store->stats().promotions, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Persistent cold-tier manifest.
+// ---------------------------------------------------------------------------
+
+TEST_F(TieredStoreTest, ManifestRecoversMangledIdsAndLruStampsAcrossRestart) {
+  // An id that cannot round-trip through SanitizeContextId: without the
+  // manifest a restart would orphan its cold directory forever.
+  const std::string evil = "tenant/7:../system prompt";
+  const auto payload = Blob(64, 7);
+  {
+    TieredKVStore store(Opts(/*hot_capacity=*/100));
+    store.Put({evil, 0, 0}, payload);
+    store.Touch(evil, 3.5);
+    store.Put({"newer", 0, 0}, Blob(80, 9));  // demotes the mangled context
+    store.Flush();
+    ASSERT_TRUE(store.ContainsContext(evil));
+    EXPECT_TRUE(fs::exists(root_ / "MANIFEST"));
+  }
+  {
+    TieredKVStore store(Opts(/*hot_capacity=*/1000));
+    // Adopted under its ORIGINAL id, LRU stamp intact — a cold hit, where
+    // the pre-manifest store could only miss.
+    EXPECT_TRUE(store.ContainsContext(evil));
+    ASSERT_EQ(store.LookupAndPin(evil, 10.0), KVTier::kCold);
+    ASSERT_TRUE(store.Get({evil, 0, 0}).has_value());
+    EXPECT_EQ(*store.Get({evil, 0, 0}), payload);
+    store.Unpin(evil);
+  }
+}
+
+TEST_F(TieredStoreTest, UnmanifestedMangledDirectoriesAreReclaimed) {
+  // A sentinel-complete directory whose name neither round-trips nor appears
+  // in any manifest is unreachable forever; restart reclaims it instead of
+  // leaking dead bytes against the cold budget.
+  const std::string orphan_dir = "lost%00000000000000000000000000000000";
+  fs::create_directories(root_ / orphan_dir);
+  {
+    std::ofstream chunk(root_ / orphan_dir / "chunk0_level0.cgkv",
+                        std::ios::binary);
+    chunk << "unreachable";
+  }
+  {
+    std::ofstream sentinel(root_ / orphan_dir / "COMPLETE", std::ios::binary);
+    sentinel << '1';
+  }
+  TieredKVStore store(Opts(/*hot_capacity=*/1000));
+  EXPECT_EQ(store.stats().cold_bytes, 0u);
+  EXPECT_FALSE(fs::exists(root_ / orphan_dir));
+}
+
+TEST_F(TieredStoreTest, ManifestPreservesColdLruOrderAcrossRestart) {
+  {
+    TieredKVStore store(Opts(/*hot_capacity=*/100));
+    store.Put({"old", 0, 0}, Blob(60, 1));
+    store.Touch("old", 1.0);
+    store.Put({"fresh", 0, 0}, Blob(60, 2));
+    store.Touch("fresh", 9.0);
+    // Both demoted (hot keeps only the newest), stamps 1.0 and 9.0.
+    store.Put({"hot", 0, 0}, Blob(90, 3));
+    store.Flush();
+    ASSERT_TRUE(store.ContainsContext("old"));
+    ASSERT_TRUE(store.ContainsContext("fresh"));
+  }
+  // Restart with a cold budget that fits only one of them: the recovered
+  // stamps must make "old" — not id order or adoption order — the victim.
+  TieredKVStore store(Opts(/*hot_capacity=*/1000, /*cold_capacity=*/70));
+  store.Flush();
+  EXPECT_FALSE(store.ContainsContext("old"));
+  EXPECT_TRUE(store.ContainsContext("fresh"));
+}
+
 }  // namespace
 }  // namespace cachegen
