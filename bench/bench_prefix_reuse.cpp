@@ -35,6 +35,7 @@
 
 #include "bench_common.h"
 #include "cluster/cluster_server.h"
+#include "obs/json_writer.h"
 #include "prefix/prefix_cache.h"
 #include "workload/prefix_trace.h"
 
@@ -192,42 +193,42 @@ int main(int argc, char** argv) {
   std::printf("%s", table.Render().c_str());
 
   // ---- machine-readable JSON --------------------------------------------
-  FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f) {
-    std::fprintf(f,
-                 "{\n  \"bench\": \"prefix_reuse\",\n  \"quick\": %s,\n"
-                 "  \"member_bytes\": %llu,\n  \"capacity_bytes\": %llu,\n"
-                 "  \"results\": [\n",
-                 quick ? "true" : "false",
-                 static_cast<unsigned long long>(member_bytes),
-                 static_cast<unsigned long long>(capacity));
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
+  {
+    cachegen::obs::JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", "prefix_reuse");
+    w.Field("quick", quick);
+    w.Field("member_bytes", static_cast<uint64_t>(member_bytes));
+    w.Field("capacity_bytes", static_cast<uint64_t>(capacity));
+    w.BeginArray("results");
+    for (const Row& r : rows) {
       const ClusterSummary& s = r.summary;
-      std::fprintf(
-          f,
-          "    {\"shared_fraction\": %.2f, \"mode\": \"%s\", "
-          "\"hot_hit_rate\": %.4f, \"prefix_hit_rate\": %.4f, "
-          "\"miss_rate\": %.4f, \"slo_violation_rate\": %.4f, "
-          "\"mean_ttft_s\": %.3f, \"mean_prefix_ttft_s\": %.3f, "
-          "\"mean_miss_ttft_s\": %.3f, \"mean_covered_fraction\": %.3f, "
-          "\"deduped_bytes\": %llu, \"unique_bytes\": %llu, "
-          "\"prefix_evictions\": %llu, \"mean_qoe_mos\": %.3f, "
-          "\"goodput_tokens_per_s\": %.1f}%s\n",
-          r.shared_fraction, r.mode.c_str(), s.hot_hit_rate, s.prefix_hit_rate,
-          s.miss_rate, s.slo_violation_rate, s.mean_ttft_s, s.mean_prefix_ttft_s,
-          s.mean_miss_ttft_s, s.mean_covered_fraction,
-          static_cast<unsigned long long>(r.deduped_bytes),
-          static_cast<unsigned long long>(r.unique_bytes),
-          static_cast<unsigned long long>(r.prefix_evictions), s.mean_qoe_mos,
-          s.goodput_tokens_per_s, i + 1 < rows.size() ? "," : "");
+      w.BeginObject();
+      w.Field("shared_fraction", r.shared_fraction, 2);
+      w.Field("mode", r.mode);
+      w.Field("hot_hit_rate", s.hot_hit_rate, 4);
+      w.Field("prefix_hit_rate", s.prefix_hit_rate, 4);
+      w.Field("miss_rate", s.miss_rate, 4);
+      w.Field("slo_violation_rate", s.slo_violation_rate, 4);
+      w.Field("mean_ttft_s", s.mean_ttft_s, 3);
+      w.Field("mean_prefix_ttft_s", s.mean_prefix_ttft_s, 3);
+      w.Field("mean_miss_ttft_s", s.mean_miss_ttft_s, 3);
+      w.Field("mean_covered_fraction", s.mean_covered_fraction, 3);
+      w.Field("deduped_bytes", static_cast<uint64_t>(r.deduped_bytes));
+      w.Field("unique_bytes", static_cast<uint64_t>(r.unique_bytes));
+      w.Field("prefix_evictions", static_cast<uint64_t>(r.prefix_evictions));
+      w.Field("mean_qoe_mos", s.mean_qoe_mos, 3);
+      w.Field("goodput_tokens_per_s", s.goodput_tokens_per_s, 1);
+      w.EndObject();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: could not open %s for writing\n",
-                 out_path.c_str());
+    w.EndArray();
+    w.EndObject();
+    if (w.WriteFile(out_path)) {
+      std::printf("wrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not open %s for writing\n",
+                   out_path.c_str());
+    }
   }
 
   // ---- regression gate (quick mode) -------------------------------------

@@ -20,6 +20,7 @@
 
 #include "bench_common.h"
 #include "codec/encoding_level.h"
+#include "obs/json_writer.h"
 #include "net/bandwidth_trace.h"
 #include "net/link.h"
 #include "streamer/streamer.h"
@@ -142,37 +143,41 @@ int main(int argc, char** argv) {
   std::printf("%s", table.Render().c_str());
 
   // ---- machine-readable JSON --------------------------------------------
-  FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f) {
-    std::fprintf(f,
-                 "{\n  \"bench\": \"progressive_streaming\",\n  \"quick\": %s,\n"
-                 "  \"context_tokens\": %zu,\n  \"gpu_share\": %.2f,\n"
-                 "  \"results\": [\n",
-                 quick ? "true" : "false", context_tokens, gpu_share);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(
-          f,
-          "    {\"trace\": \"%s\", \"slo_s\": %.2f, "
-          "\"adaptive_met_slo\": %s, \"progressive_met_slo\": %s, "
-          "\"adaptive_quality\": %.5f, \"progressive_quality\": %.5f, "
-          "\"base_quality\": %.5f, \"enhanced_fraction\": %.4f, "
-          "\"enhancements_sent\": %zu, \"enhancements_aborted\": %zu, "
-          "\"adaptive_gbytes\": %.4f, \"progressive_gbytes\": %.4f, "
-          "\"adaptive_qoe\": %.3f, \"progressive_qoe\": %.3f}%s\n",
-          r.name.c_str(), r.slo_s, r.adaptive_met ? "true" : "false",
-          r.progressive_met ? "true" : "false", r.adaptive_quality,
-          r.progressive_quality, r.base_quality, r.enhanced_fraction,
-          r.enhancements_sent, r.enhancements_aborted, r.adaptive_gbytes,
-          r.progressive_gbytes, r.adaptive_qoe, r.progressive_qoe,
-          i + 1 < rows.size() ? "," : "");
+  {
+    cachegen::obs::JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", "progressive_streaming");
+    w.Field("quick", quick);
+    w.Field("context_tokens", static_cast<uint64_t>(context_tokens));
+    w.Field("gpu_share", gpu_share, 2);
+    w.BeginArray("results");
+    for (const Row& r : rows) {
+      w.BeginObject();
+      w.Field("trace", r.name);
+      w.Field("slo_s", r.slo_s, 2);
+      w.Field("adaptive_met_slo", r.adaptive_met);
+      w.Field("progressive_met_slo", r.progressive_met);
+      w.Field("adaptive_quality", r.adaptive_quality, 5);
+      w.Field("progressive_quality", r.progressive_quality, 5);
+      w.Field("base_quality", r.base_quality, 5);
+      w.Field("enhanced_fraction", r.enhanced_fraction, 4);
+      w.Field("enhancements_sent", static_cast<uint64_t>(r.enhancements_sent));
+      w.Field("enhancements_aborted",
+              static_cast<uint64_t>(r.enhancements_aborted));
+      w.Field("adaptive_gbytes", r.adaptive_gbytes, 4);
+      w.Field("progressive_gbytes", r.progressive_gbytes, 4);
+      w.Field("adaptive_qoe", r.adaptive_qoe, 3);
+      w.Field("progressive_qoe", r.progressive_qoe, 3);
+      w.EndObject();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: could not open %s for writing\n",
-                 out_path.c_str());
+    w.EndArray();
+    w.EndObject();
+    if (w.WriteFile(out_path)) {
+      std::printf("wrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not open %s for writing\n",
+                   out_path.c_str());
+    }
   }
 
   // ---- regression gate (quick mode) -------------------------------------

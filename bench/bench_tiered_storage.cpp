@@ -34,6 +34,7 @@
 
 #include "bench_common.h"
 #include "cluster/cluster_server.h"
+#include "obs/json_writer.h"
 
 namespace cachegen {
 namespace {
@@ -177,42 +178,41 @@ int main(int argc, char** argv) {
   std::printf("%s", table.Render().c_str());
 
   // ---- machine-readable JSON --------------------------------------------
-  FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f) {
-    std::fprintf(f,
-                 "{\n  \"bench\": \"tiered_storage\",\n  \"quick\": %s,\n"
-                 "  \"working_set_bytes\": %llu,\n  \"results\": [\n",
-                 quick ? "true" : "false",
-                 static_cast<unsigned long long>(working_set));
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
+  {
+    cachegen::obs::JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", "tiered_storage");
+    w.Field("quick", quick);
+    w.Field("working_set_bytes", static_cast<uint64_t>(working_set));
+    w.BeginArray("results");
+    for (const Row& r : rows) {
       const ClusterSummary& s = r.summary;
-      std::fprintf(
-          f,
-          "    {\"hot_capacity_frac\": %.2f, \"mode\": \"%s\", "
-          "\"hot_hit_rate\": %.4f, \"cold_hit_rate\": %.4f, "
-          "\"miss_rate\": %.4f, \"slo_violation_rate\": %.4f, "
-          "\"mean_effective_quality\": %.5f, \"mean_quality\": %.5f, "
-          "\"p95_ttft_s\": %.3f, \"mean_qoe_mos\": %.3f, "
-          "\"goodput_tokens_per_s\": %.1f, "
-          "\"demotions\": %llu, \"promotions\": %llu, "
-          "\"cold_evictions\": %llu, \"cold_bytes\": %llu}%s\n",
-          r.hot_frac, r.mode.c_str(), s.hot_hit_rate, s.cold_hit_rate,
-          s.miss_rate, s.slo_violation_rate, s.mean_effective_quality,
-          s.mean_quality, r.p95_ttft_s, s.mean_qoe_mos,
-          s.goodput_tokens_per_s,
-          static_cast<unsigned long long>(r.demotions),
-          static_cast<unsigned long long>(r.promotions),
-          static_cast<unsigned long long>(r.cold_evictions),
-          static_cast<unsigned long long>(r.cold_bytes),
-          i + 1 < rows.size() ? "," : "");
+      w.BeginObject();
+      w.Field("hot_capacity_frac", r.hot_frac, 2);
+      w.Field("mode", r.mode);
+      w.Field("hot_hit_rate", s.hot_hit_rate, 4);
+      w.Field("cold_hit_rate", s.cold_hit_rate, 4);
+      w.Field("miss_rate", s.miss_rate, 4);
+      w.Field("slo_violation_rate", s.slo_violation_rate, 4);
+      w.Field("mean_effective_quality", s.mean_effective_quality, 5);
+      w.Field("mean_quality", s.mean_quality, 5);
+      w.Field("p95_ttft_s", r.p95_ttft_s, 3);
+      w.Field("mean_qoe_mos", s.mean_qoe_mos, 3);
+      w.Field("goodput_tokens_per_s", s.goodput_tokens_per_s, 1);
+      w.Field("demotions", static_cast<uint64_t>(r.demotions));
+      w.Field("promotions", static_cast<uint64_t>(r.promotions));
+      w.Field("cold_evictions", static_cast<uint64_t>(r.cold_evictions));
+      w.Field("cold_bytes", static_cast<uint64_t>(r.cold_bytes));
+      w.EndObject();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: could not open %s for writing\n",
-                 out_path.c_str());
+    w.EndArray();
+    w.EndObject();
+    if (w.WriteFile(out_path)) {
+      std::printf("wrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not open %s for writing\n",
+                   out_path.c_str());
+    }
   }
 
   // ---- regression gate (quick mode) -------------------------------------

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate an exported cachegen Chrome trace-event JSON file.
+
+Checks (all hard failures):
+  * the file parses and has the expected top-level shape, including the
+    trace schema version stamped in otherData;
+  * every event carries the required keys for its phase, phases are from the
+    known set, complete events have non-negative durations, and B/E pairs
+    (which the exporter never emits today, but tools may add) balance;
+  * timestamps are monotonic in export order within each (pid, tid) track
+    (the exporter sorts by clock/track/ts — a violation means a recording
+    or export bug, e.g. a negative virtual timestamp);
+  * at least one event exists for every required subsystem category;
+  * at least one cluster-virtual-time request track (pid 2) carries the
+    full request lifecycle: queue_wait, kv_stream, chunk_gpu_decode, and
+    write_back on a single timeline.
+
+Usage: check_trace.py TRACE.json [--require-cat CAT ...]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+EXPECTED_SCHEMA_VERSION = 1
+KNOWN_PHASES = {"X", "i", "C", "M", "B", "E"}
+DEFAULT_REQUIRED_CATS = ["cluster", "streamer", "codec", "net", "storage"]
+LIFECYCLE = {"queue_wait", "kv_stream", "chunk_gpu_decode", "write_back"}
+VIRTUAL_PID = 2
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument(
+        "--require-cat",
+        action="append",
+        default=None,
+        help="category that must appear at least once "
+        f"(default: {' '.join(DEFAULT_REQUIRED_CATS)}; repeatable, "
+        "replaces the default list)",
+    )
+    args = ap.parse_args()
+    required_cats = args.require_cat or DEFAULT_REQUIRED_CATS
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing, not a list, or empty")
+    other = doc.get("otherData", {})
+    version = other.get("traceSchemaVersion")
+    if version != EXPECTED_SCHEMA_VERSION:
+        fail(
+            f"traceSchemaVersion {version!r} != expected "
+            f"{EXPECTED_SCHEMA_VERSION}"
+        )
+
+    last_ts = {}  # (pid, tid) -> last seen ts, in export order
+    open_spans = collections.defaultdict(list)  # (pid, tid) -> B-event stack
+    cats_seen = collections.Counter()
+    virtual_names = collections.defaultdict(set)  # tid -> event names on pid 2
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} missing required key {key!r}")
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            fail(f"event {i} has unknown phase {ph!r}")
+        if ph == "M":
+            continue  # metadata: no ts
+        if "ts" not in ev:
+            fail(f"event {i} ({ev['name']!r}) missing ts")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i} ({ev['name']!r}) has bad ts {ts!r}")
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, 0):
+            fail(
+                f"event {i} ({ev['name']!r}) ts {ts} goes backwards on "
+                f"pid/tid {track} (prev {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i} ({ev['name']!r}) has bad dur {dur!r}")
+        elif ph == "B":
+            open_spans[track].append(ev["name"])
+        elif ph == "E":
+            if not open_spans[track]:
+                fail(f"event {i}: E with no matching B on pid/tid {track}")
+            open_spans[track].pop()
+        if "cat" in ev:
+            cats_seen[ev["cat"]] += 1
+        if ev["pid"] == VIRTUAL_PID and ph in ("X", "i"):
+            virtual_names[ev["tid"]].add(ev["name"])
+
+    unclosed = {t: s for t, s in open_spans.items() if s}
+    if unclosed:
+        fail(f"unclosed B spans at end of trace: {unclosed}")
+
+    missing = [c for c in required_cats if cats_seen[c] == 0]
+    if missing:
+        fail(
+            f"no events for required categories {missing} "
+            f"(saw: {dict(cats_seen)})"
+        )
+
+    lifecycle_tracks = [
+        tid for tid, names in virtual_names.items() if LIFECYCLE <= names
+    ]
+    if not lifecycle_tracks:
+        fail(
+            "no pid-2 request track carries the full lifecycle "
+            f"{sorted(LIFECYCLE)}; per-track names: "
+            f"{ {t: sorted(n) for t, n in virtual_names.items()} }"
+        )
+
+    print(
+        f"OK: {len(events)} events, categories {dict(cats_seen)}, "
+        f"{len(lifecycle_tracks)} request track(s) with the full lifecycle, "
+        f"droppedEvents={other.get('droppedEvents')}"
+    )
+
+
+if __name__ == "__main__":
+    main()

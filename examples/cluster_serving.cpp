@@ -10,28 +10,56 @@
 // KV quality through the cold-read model (seek + device bandwidth) instead
 // of paying a full text re-prefill. Only a document absent from both tiers
 // ships text, re-prefills, and gets written back.
+//
+// Flags:
+//   --prefix              serve a shared-prefix workload through a
+//                         PrefixCache over the tiered store: mixes hot full
+//                         hits, cold promotions, partial-prefix hits (cached
+//                         prefix as KV + text suffix + write-back), and full
+//                         misses — the trace CI validates
+//   --trace PATH          enable the tracer and export a Chrome trace-event
+//                         JSON (load in https://ui.perfetto.dev); the
+//                         CACHEGEN_TRACE env var also enables recording
+//   --metrics-json PATH   write the run summary + every registered metric
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
 #include "cluster/cluster_server.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "prefix/prefix_cache.h"
+#include "workload/prefix_trace.h"
 
 using namespace cachegen;
 
-int main() {
+int main(int argc, char** argv) {
+  bool prefix_mode = false;
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--prefix") == 0) {
+      prefix_mode = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--prefix] [--trace PATH] [--metrics-json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) obs::Tracer::Instance().SetEnabled(true);
+
   Engine::Options eopts;
   eopts.model_name = "mistral-7b";
-
-  RequestTraceOptions topts;
-  topts.num_requests = 16;
-  topts.arrival_rate_hz = 3.0;
-  topts.num_contexts = 5;
-  topts.min_tokens = 1500;
-  topts.max_tokens = 5000;
-  topts.slo_s = 2.5;
-  topts.seed = 0xD0C5;
 
   // Per-process directory so concurrent invocations never share (or delete)
   // each other's cold tier.
@@ -41,12 +69,30 @@ int main() {
   std::filesystem::remove_all(cold_root);
 
   TieredKVStore::Options sopts;
-  // A hot tier far below the pool's working set: the cold tier does real work.
-  sopts.hot = {.num_shards = 2, .capacity_bytes = 8ull << 20};
+  // A hot tier far below the pool's working set: the cold tier does real
+  // work. The prefix workload's unique-chunk working set is much larger, so
+  // its hot tier is bigger — big enough that recently shared families stay
+  // hot (full hot hits) while the tail still demotes (cold promotions).
+  sopts.hot = {.num_shards = 2,
+               .capacity_bytes = prefix_mode ? 48ull << 20 : 8ull << 20};
   sopts.cold_root = cold_root;
   sopts.cold_capacity_bytes = 0;  // the cheap tier keeps everything
   auto store = std::make_shared<TieredKVStore>(sopts);
-  Engine engine(eopts, store);
+
+  // The prefix layer (when asked for) owns lookups above the tiered store:
+  // full hits pin through it, fresh family suffixes become partial-prefix
+  // hits against the shared chunks, and write-backs dedup into the content-
+  // addressed store.
+  std::shared_ptr<PrefixCache> pc;
+  std::shared_ptr<CacheTier> tier = store;
+  if (prefix_mode) {
+    PrefixCache::Options popts;
+    popts.chunk_tokens = eopts.chunk_tokens;
+    pc = std::make_shared<PrefixCache>(store, popts);
+    tier = pc;
+  }
+  Engine engine(eopts, prefix_mode ? std::static_pointer_cast<KVStore>(pc)
+                                   : std::static_pointer_cast<KVStore>(store));
 
   ClusterServer::Options copts;
   copts.num_workers = 4;
@@ -54,15 +100,63 @@ int main() {
   copts.assemble_kv = true;      // actually decode the delivered bitstreams
   copts.cold_read_gbps = 1.25;   // the cold device's per-stream read rate
   copts.cold_seek_s = 0.015;
-  ClusterServer cluster(engine, store, BandwidthTrace::Constant(3.0), copts);
+  ClusterServer cluster(engine, tier, BandwidthTrace::Constant(3.0), copts);
 
-  std::printf(
-      "== CacheGen cluster: 4 workers, 3 Gbps shared path, SLO %.1f s ==\n",
-      topts.slo_s);
-  std::printf("pre-storing %zu documents (hot tier %.0f MB)...\n",
-              topts.num_contexts,
-              static_cast<double>(store->hot().capacity_bytes()) / 1e6);
-  cluster.Prestore(topts);
+  std::vector<ClusterRequest> trace;
+  double slo_s = 0.0;
+  if (prefix_mode) {
+    PrefixTraceOptions ptopts;
+    ptopts.num_requests = 24;
+    ptopts.arrival_rate_hz = 3.0;
+    ptopts.num_families = 2;
+    ptopts.prefix_tokens = 3000;
+    ptopts.suffix_min_tokens = 1500;
+    ptopts.suffix_max_tokens = 1500;
+    ptopts.suffixes_per_family = 4;
+    ptopts.shared_fraction = 0.7;
+    ptopts.slo_s = 2.5;
+    ptopts.seed = 0xD0C5;
+    slo_s = ptopts.slo_s;
+    copts.default_slo_s = ptopts.slo_s;
+
+    std::printf(
+        "== CacheGen cluster (prefix mode): 4 workers, 3 Gbps shared path, "
+        "SLO %.1f s ==\n",
+        slo_s);
+    // Seed one member per family: repeats of these become full hits, fresh
+    // suffixes of the same families become partial-prefix hits, and solo
+    // contexts can only miss. The tight hot tier demotes, so some covered
+    // chunks later stream cold.
+    std::vector<std::pair<std::string, ContextSpec>> seed;
+    for (size_t f = 0; f < ptopts.num_families; ++f) {
+      seed.emplace_back(PrefixFamilyContextId(f, 0),
+                        PrefixFamilySpec(ptopts, f, 0));
+    }
+    std::printf("pre-storing %zu family members (hot tier %.0f MB)...\n",
+                seed.size(),
+                static_cast<double>(store->hot().capacity_bytes()) / 1e6);
+    cluster.Prestore(seed);
+    trace = SharedPrefixTrace(ptopts);
+  } else {
+    RequestTraceOptions topts;
+    topts.num_requests = 16;
+    topts.arrival_rate_hz = 3.0;
+    topts.num_contexts = 5;
+    topts.min_tokens = 1500;
+    topts.max_tokens = 5000;
+    topts.slo_s = 2.5;
+    topts.seed = 0xD0C5;
+    slo_s = topts.slo_s;
+
+    std::printf(
+        "== CacheGen cluster: 4 workers, 3 Gbps shared path, SLO %.1f s ==\n",
+        slo_s);
+    std::printf("pre-storing %zu documents (hot tier %.0f MB)...\n",
+                topts.num_contexts,
+                static_cast<double>(store->hot().capacity_bytes()) / 1e6);
+    cluster.Prestore(topts);
+    trace = PoissonTrace(topts);
+  }
   {
     const auto stats = store->stats();
     std::printf("after pre-store: %.1f MB hot, %.1f MB cold (%llu demotions)\n\n",
@@ -71,20 +165,22 @@ int main() {
                 static_cast<unsigned long long>(stats.demotions));
   }
 
-  const auto outcomes = cluster.Serve(PoissonTrace(topts));
+  const auto outcomes = cluster.Serve(std::move(trace));
 
-  std::printf("%4s %9s %8s %6s %9s %9s %9s %5s\n", "req", "arrive", "doc",
+  std::printf("%4s %9s %12s %6s %9s %9s %9s %5s\n", "req", "arrive", "doc",
               "tier", "queue(s)", "TTFT(s)", "quality", "SLO");
   for (const RequestOutcome& o : outcomes) {
-    std::printf("%4llu %9.2f %8s %6s %9.2f %9.2f %9.3f %5s\n",
+    std::printf("%4llu %9.2f %12s %6s %9.2f %9.2f %9.3f %5s\n",
                 static_cast<unsigned long long>(o.request.id),
                 o.request.arrival_s, o.request.context_id.c_str(),
-                o.cold_hit ? "cold" : (o.cache_hit ? "hot" : "miss"),
+                o.prefix_hit ? "pfx"
+                             : (o.cold_hit ? "cold"
+                                           : (o.cache_hit ? "hot" : "miss")),
                 o.queue_delay_s, o.ttft_s, o.quality,
                 o.slo_violated ? "VIOL" : "ok");
   }
 
-  const ClusterSummary s = Summarize(outcomes);
+  const ClusterSummary s = Summarize(outcomes, tier.get());
   const auto stats = store->stats();
   std::printf("\n%s\n", FormatSummary(s).c_str());
   std::printf(
@@ -95,8 +191,46 @@ int main() {
       static_cast<unsigned long long>(stats.misses),
       static_cast<unsigned long long>(stats.demotions),
       static_cast<unsigned long long>(stats.promotions));
+  if (pc) {
+    const auto ps = pc->stats();
+    std::printf("prefix layer: %llu full, %llu partial, %llu miss; "
+                "%.1f MB dedup'd, %.1f MB unique\n",
+                static_cast<unsigned long long>(ps.full_hits),
+                static_cast<unsigned long long>(ps.prefix_hits),
+                static_cast<unsigned long long>(ps.misses),
+                static_cast<double>(ps.deduped_bytes) / 1e6,
+                static_cast<double>(ps.unique_bytes) / 1e6);
+  }
 
   store->Flush();
+
+  if (!metrics_path.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Field("schema", "cachegen-metrics-v1");
+    w.Field("example", prefix_mode ? "cluster_serving_prefix"
+                                   : "cluster_serving");
+    SummaryToJson(s, w);
+    obs::AppendMetricsJson(w, obs::MetricsRegistry::Instance().SnapshotAll());
+    w.EndObject();
+    if (w.WriteFile(metrics_path)) {
+      std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    if (obs::WriteChromeTrace(trace_path)) {
+      std::printf("wrote trace to %s (load in ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+
   std::filesystem::remove_all(cold_root);
   return 0;
 }

@@ -116,4 +116,33 @@ std::string FormatSummary(const ClusterSummary& s) {
   return buf;
 }
 
+void SummaryToJson(const ClusterSummary& s, obs::JsonWriter& w) {
+  w.BeginObject("summary");
+  w.Field("completed", static_cast<uint64_t>(s.completed));
+  w.Field("makespan_s", s.makespan_s);
+  w.Field("mean_ttft_s", s.mean_ttft_s);
+  w.Field("p50_ttft_s", s.p50_ttft_s);
+  w.Field("p95_ttft_s", s.p95_ttft_s);
+  w.Field("p99_ttft_s", s.p99_ttft_s);
+  w.Field("mean_queue_delay_s", s.mean_queue_delay_s);
+  w.Field("slo_violation_rate", s.slo_violation_rate);
+  w.Field("goodput_tokens_per_s", s.goodput_tokens_per_s);
+  w.Field("mean_qoe_mos", s.mean_qoe_mos);
+  w.Field("cache_hit_rate", s.cache_hit_rate);
+  w.Field("hot_hit_rate", s.hot_hit_rate);
+  w.Field("cold_hit_rate", s.cold_hit_rate);
+  w.Field("prefix_hit_rate", s.prefix_hit_rate);
+  w.Field("miss_rate", s.miss_rate);
+  w.Field("mean_covered_fraction", s.mean_covered_fraction);
+  w.Field("mean_prefix_ttft_s", s.mean_prefix_ttft_s);
+  w.Field("mean_miss_ttft_s", s.mean_miss_ttft_s);
+  w.Field("deduped_bytes", s.deduped_bytes);
+  w.Field("mean_quality", s.mean_quality);
+  w.Field("mean_effective_quality", s.mean_effective_quality);
+  w.Field("total_gbytes_sent", s.total_gbytes_sent);
+  w.Field("mean_base_fraction", s.mean_base_fraction);
+  w.Field("mean_enhanced_fraction", s.mean_enhanced_fraction);
+  w.EndObject();
+}
+
 }  // namespace cachegen

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "cluster/request_queue.h"
+#include "obs/json_writer.h"
 #include "workload/qoe.h"
 
 namespace cachegen {
@@ -96,5 +97,9 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
 
 // One-line rendering for benches/examples.
 std::string FormatSummary(const ClusterSummary& s);
+
+// Append every summary field as a "summary" object on an OPEN JSON object —
+// the machine-readable sibling of FormatSummary (examples' --metrics-json).
+void SummaryToJson(const ClusterSummary& s, obs::JsonWriter& w);
 
 }  // namespace cachegen

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "codec/encoding_level.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prefix/prefix_cache.h"
 #include "storage/pin_guard.h"
 #include "streamer/streamer.h"
@@ -16,6 +18,10 @@ namespace {
 uint64_t PackPayload(size_t worker, size_t slot) {
   return (static_cast<uint64_t>(worker) << 32) | static_cast<uint64_t>(slot);
 }
+
+// Request ids are dense from 0, but the tracer reserves 0 for "no request";
+// trace tracks are therefore id + 1 ("request 1" is trace id 0).
+uint64_t TraceTrack(const ClusterRequest& rq) { return rq.id + 1; }
 
 }  // namespace
 
@@ -140,8 +146,12 @@ std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> tra
       const SharedLink::HoldId hold = link_->HoldAt(admit_s);
       busy[w] = true;
       ++in_flight;
+      CG_TRACE_VINSTANT("cluster", "admit", TraceTrack(rq), admit_s, "worker",
+                        static_cast<double>(w));
       batch.push_back({std::move(rq), w, admitted++, admit_s, hold});
     }
+    if (!batch.empty()) CG_METRIC_COUNT("cluster.admission_batches", 1);
+    CG_METRIC_GAUGE_SET("cluster.in_flight", in_flight);
     // GPU contention snapshot, frozen per request. Deterministic, but a
     // request admitted far in the virtual future may overestimate
     // contention: peers counted here can finish before it even starts. A
@@ -183,6 +193,13 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
                              double admit_s, SharedLink::HoldId admit_hold,
                              double gpu_share,
                              std::vector<RequestOutcome>* outcomes) {
+  // Everything this thread records below — including streamer per-chunk and
+  // net grant events that never see the request struct — lands on this
+  // request's virtual track.
+  const uint64_t track = TraceTrack(rq);
+  obs::ScopedRequestId rid(track);
+  CG_TRACE_VSPAN("cluster", "queue_wait", track, rq.arrival_s, admit_s);
+
   const SharedLink::FlowId flow = link_->Register(admit_s, rq.weight);
   // Our unparked flow now freezes virtual time; the admission hold can go.
   link_->ReleaseHold(admit_hold);
@@ -263,6 +280,23 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   out.base_token_fraction = sr.base_token_fraction;
   out.enhanced_token_fraction = sr.enhanced_token_fraction;
 
+  CG_TRACE_VSPAN("cluster", "kv_stream", track, admit_s,
+                 admit_s + sr.load_finish_s, "bytes",
+                 static_cast<double>(sr.bytes_sent));
+  CG_METRIC_COUNT("cluster.requests", 1);
+  if (hit) {
+    CG_METRIC_COUNT(out.cold_hit ? "cluster.hits.cold" : "cluster.hits.hot", 1);
+  } else if (prefix) {
+    CG_METRIC_COUNT("cluster.hits.prefix", 1);
+  } else {
+    CG_METRIC_COUNT("cluster.misses", 1);
+  }
+  if (out.slo_violated) CG_METRIC_COUNT("cluster.slo_violations", 1);
+  CG_METRIC_COUNT("cluster.bytes_sent", sr.bytes_sent);
+  CG_METRIC_HIST("cluster.ttft_us", static_cast<uint64_t>(out.ttft_s * 1e6));
+  CG_METRIC_HIST("cluster.queue_delay_us",
+                 static_cast<uint64_t>(queue_delay * 1e6));
+
   // Cache-tier mutations happen BEFORE the worker slot is handed back:
   // CompleteFlow is what lets the coordinator admit the next request, so
   // ordering write-back (and the hit-path unpin, which can itself evict by
@@ -284,18 +318,28 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
     // capacity. The write-back itself is best-effort: on failure the context
     // simply stays uncached and the worker carries on.
     PinGuard write_pin = PinGuard::Acquire(*tier_, rq.context_id);
+    [[maybe_unused]] const uint64_t wb_start_us = obs::Tracer::NowUs();
     try {
       engine_.StoreKV(rq.context_id, rq.spec);
       // Put() cannot know virtual time; stamp recency here or the fresh
       // write-back would be the LRU victim.
       tier_->Touch(rq.context_id, free_s);
+      CG_METRIC_COUNT("cluster.write_backs", 1);
     } catch (const std::exception&) {
       // StoreKV persists through PutBatch, which rolls a failed insert of a
       // previously-absent context back entirely — no half-written context
       // is ever visible. The context simply stays uncached (the guard drops
       // the pin); the tier just gets to retire the unconsumed announcement.
       tier_->AbortStore(rq.context_id);
+      CG_METRIC_COUNT("cluster.write_back_failures", 1);
     }
+    // The encode has no virtual-time cost model (it overlaps serving), so
+    // the lifecycle span borrows the measured wall duration: it lands after
+    // the stream on this request's track with its true relative length.
+    CG_TRACE_VSPAN("cluster", "write_back", track, free_s,
+                   free_s + static_cast<double>(obs::Tracer::NowUs() -
+                                                wb_start_us) *
+                                1e-6);
   }
   const bool keep_pin_for_assembly = hit && opts_.assemble_kv;
   if (look.pinned && !keep_pin_for_assembly) pin.Release();
@@ -313,6 +357,7 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
       if (step.enhancement) continue;
       levels.push_back(step.config.text ? -1 : step.config.level_id);
     }
+    CG_TRACE_SPAN("cluster", "assemble_kv");
     try {
       const KVCache kv = engine_.AssembleKV(rq.context_id, rq.spec, levels);
       (void)kv;

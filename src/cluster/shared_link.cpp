@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cachegen {
 
 namespace {
@@ -69,6 +72,12 @@ TransferRecord SharedLink::Transfer(FlowId id, double bytes) {
   rec.start_s = f.t_start;
   rec.end_s = f.end_s;
   rec.bytes = bytes;
+  // The grant instant lands on the calling thread's request track: the
+  // arbiter granted this flow `bytes` of max-min fair share by rec.end_s.
+  CG_METRIC_COUNT("net.grants", 1);
+  CG_METRIC_COUNT("net.granted_bytes", static_cast<uint64_t>(bytes));
+  CG_TRACE_VINSTANT("net", "grant", obs::ScopedRequestId::Current(), rec.end_s,
+                    "bytes", bytes);
   return rec;
 }
 

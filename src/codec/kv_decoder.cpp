@@ -5,6 +5,8 @@
 
 #include "ac/lane_decoder.h"
 #include "common/parallel_for.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quant/symbol_kernels.h"
 
 namespace cachegen {
@@ -155,6 +157,8 @@ void KVDecoder::DecodeGroupBatch(const EncodedChunk& chunk, size_t g0,
 }
 
 KVCache KVDecoder::DecodeChunk(const EncodedChunk& chunk, unsigned threads) const {
+  CG_TRACE_SPAN("codec", "decode_chunk");
+  [[maybe_unused]] const uint64_t dec_start_us = obs::Tracer::NowUs();
   if (chunk.option_flags != tables_->options().Flags()) {
     throw std::invalid_argument("KVDecoder: codec options mismatch");
   }
@@ -194,6 +198,8 @@ KVCache KVDecoder::DecodeChunk(const EncodedChunk& chunk, unsigned threads) cons
         }
       },
       threads);
+  CG_METRIC_COUNT("codec.chunks_decoded", 1);
+  CG_METRIC_HIST("codec.decode_us", obs::Tracer::NowUs() - dec_start_us);
   return out;
 }
 

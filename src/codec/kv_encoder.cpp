@@ -7,6 +7,8 @@
 #include "ac/range_encoder.h"
 #include "bitstream/bit_writer.h"
 #include "common/parallel_for.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quant/symbol_kernels.h"
 
 namespace cachegen {
@@ -118,6 +120,8 @@ void KVEncoder::EncodeGroup(const KVCache& chunk, size_t group,
 
 EncodedChunk KVEncoder::EncodeChunk(const KVCache& chunk, uint32_t chunk_index,
                                     uint64_t token_begin, unsigned threads) const {
+  CG_TRACE_SPAN("codec", "encode_chunk");
+  [[maybe_unused]] const uint64_t enc_start_us = obs::Tracer::NowUs();
   EncodedChunk out;
   out.chunk_index = chunk_index;
   out.token_begin = token_begin;
@@ -133,6 +137,8 @@ EncodedChunk KVEncoder::EncodeChunk(const KVCache& chunk, uint32_t chunk_index,
   out.streams.resize(groups);
   ParallelFor(groups, [&](size_t g) { EncodeGroup(chunk, g, out.streams[g]); },
               threads);
+  CG_METRIC_COUNT("codec.chunks_encoded", 1);
+  CG_METRIC_HIST("codec.encode_us", obs::Tracer::NowUs() - enc_start_us);
   return out;
 }
 

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cachegen {
 
 namespace {
@@ -100,6 +103,9 @@ void ThreadPool::ExecuteSome(const std::shared_ptr<Job>& job) {
   } while (!job->slots.compare_exchange_weak(s, s - 1,
                                              std::memory_order_acq_rel));
 
+  // One span per participation (not per index): a worker's slice of a job is
+  // the granularity that shows pool parallelism on the wall-clock timeline.
+  CG_TRACE_SPAN("pool", "pool_task");
   const bool was_in_region = t_in_parallel_region;
   t_in_parallel_region = true;
   for (;;) {
@@ -138,6 +144,7 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn,
     return;
   }
 
+  CG_METRIC_COUNT("pool.jobs", 1);
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->n = n;
@@ -182,6 +189,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
     }
     return;
   }
+  CG_METRIC_COUNT("pool.submitted", 1);
   auto job = std::make_shared<Job>();
   job->owned_fn = [f = std::move(fn)](size_t) { f(); };
   job->fn = &job->owned_fn;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cachegen {
 
 TransferRecord Link::Send(double bytes) {
@@ -47,6 +50,10 @@ TransferRecord ThrottledLink::Send(double bytes) {
     inner_.AdvanceTo(read_end_s);
     rec.end_s = read_end_s;
   }
+  CG_METRIC_COUNT("net.cold_reads", 1);
+  CG_METRIC_COUNT("net.cold_read_bytes", static_cast<uint64_t>(bytes));
+  CG_TRACE_VSPAN("net", "cold_read", obs::ScopedRequestId::Current(),
+                 rec.start_s, rec.end_s, "bytes", bytes);
   return rec;
 }
 

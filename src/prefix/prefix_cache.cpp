@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/sha256.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cachegen {
 
@@ -70,6 +72,7 @@ void PrefixCache::EraseChunkLocked(const std::string& cas_id) {
   const auto it = chunks_.find(cas_id);
   if (it == chunks_.end()) return;
   unique_bytes_ -= it->second.bytes;
+  CG_METRIC_GAUGE_SET("prefix.unique_bytes", unique_bytes_);
   chunks_.erase(it);
   // Lock order is prefix mu_ -> inner locks; the inner tier never calls back.
   inner_->kv().EraseContext(cas_id);
@@ -89,7 +92,15 @@ void PrefixCache::DerefChunkLocked(const std::string& cas_id) {
   if (it->second.refs > 0) --it->second.refs;
   // Zero-ref chunks pinned by an in-flight stream become zombies: the bytes
   // stay until the last Unpin so a stream never loses a chunk mid-flight.
-  if (it->second.refs == 0 && it->second.pins == 0) EraseChunkLocked(cas_id);
+  if (it->second.refs == 0) {
+    if (it->second.pins == 0) {
+      EraseChunkLocked(cas_id);
+    } else {
+      CG_METRIC_COUNT("prefix.zombie_deferrals", 1);
+      CG_TRACE_INSTANT("prefix", "zombie_deferral", "bytes",
+                       static_cast<double>(it->second.bytes));
+    }
+  }
 }
 
 void PrefixCache::DeregisterContextLocked(const std::string& context_id,
@@ -224,10 +235,14 @@ void PrefixCache::PutBatch(const std::string& context_id,
           ce.bytes += v.second.size();
           unique_bytes_ += v.second.size();
         }
+        CG_METRIC_GAUGE_SET("prefix.unique_bytes", unique_bytes_);
       }
       if (dedup_here > 0) {
         deduped_bytes_ += dedup_here;
         ++deduped_chunks_;
+        CG_METRIC_COUNT("prefix.deduped_chunks", 1);
+        CG_TRACE_INSTANT("prefix", "dedup", "bytes",
+                         static_cast<double>(dedup_here));
       }
       cas_ids.push_back(cas);
     }
@@ -363,6 +378,9 @@ size_t PrefixCache::PinCoveredChunksLocked(
 
 TierLookup PrefixCache::LookupAndPin(const std::string& context_id,
                                      const ContextSpec& spec, double t_s) {
+  // Covers both the registered-context fast path and the radix
+  // longest-prefix walk over the unregistered path.
+  CG_TRACE_SPAN("prefix", "radix_lookup");
   std::lock_guard<std::mutex> lock(mu_);
   TierLookup out;
   const auto it = contexts_.find(context_id);
@@ -379,13 +397,16 @@ TierLookup PrefixCache::LookupAndPin(const std::string& context_id,
       ++entry.pins;
       rec.context_pin = true;
       ++full_hits_;
+      CG_METRIC_COUNT("prefix.full_hits", 1);
     } else if (out.covered_chunks > 0) {
       // The inner tier lost a tail chunk: serve what survives as a partial
       // prefix (the serving layer text-recomputes the rest).
       ++prefix_hits_;
       covered_tokens_total_ += out.covered_tokens;
+      CG_METRIC_COUNT("prefix.partial_hits", 1);
     } else {
       ++misses_;
+      CG_METRIC_COUNT("prefix.misses", 1);
       return out;  // nothing pinned, no record
     }
     out.pinned = true;
@@ -401,6 +422,7 @@ TierLookup PrefixCache::LookupAndPin(const std::string& context_id,
     rec.raw = true;
     pin_records_[context_id].push_back(std::move(rec));
     ++full_hits_;
+    CG_METRIC_COUNT("prefix.full_hits", 1);
     return raw;
   }
 
@@ -422,10 +444,12 @@ TierLookup PrefixCache::LookupAndPin(const std::string& context_id,
       &out.any_cold);
   if (out.covered_chunks == 0) {
     ++misses_;
+    CG_METRIC_COUNT("prefix.misses", 1);
     return out;
   }
   ++prefix_hits_;
   covered_tokens_total_ += out.covered_tokens;
+  CG_METRIC_COUNT("prefix.partial_hits", 1);
   out.pinned = true;
   pin_records_[context_id].push_back(std::move(rec));
   return out;
@@ -485,6 +509,9 @@ void PrefixCache::Unpin(const std::string& context_id) {
       // Last pin on a zombie (its final owner was evicted mid-stream):
       // reclaim the bytes now.
       if (cit->second.refs == 0 && cit->second.pins == 0) {
+        CG_METRIC_COUNT("prefix.zombie_reclaims", 1);
+        CG_TRACE_INSTANT("prefix", "zombie_reclaim", "bytes",
+                         static_cast<double>(cit->second.bytes));
         EraseChunkLocked(cas);
       }
     }

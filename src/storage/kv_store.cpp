@@ -4,11 +4,14 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <list>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "common/sha256.h"
+#include "obs/metrics.h"
 
 namespace cachegen {
 
@@ -21,20 +24,66 @@ bool IsSafeIdChar(char c) {
          (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
 }
 
-// Process-wide mangled -> original map. Bounded by the number of distinct
-// unsafe ids a process ever sanitizes (each entry is two short strings);
-// persistence across restarts is the cold tier manifest's job.
-std::mutex& ReverseMapMutex() {
-  static std::mutex mu;
-  return mu;
-}
+// Process-wide mangled -> original map, bounded by an LRU cap: a long trace
+// over millions of distinct unsafe tenant ids used to grow this without
+// limit. Entries past the cap are the ids least recently sanitized OR
+// recovered; persistence across restarts is the cold tier manifest's job
+// (which re-primes this map on adoption), so evicting here only costs the
+// ability to reverse an id nothing has touched in kReverseMapCap distinct
+// sanitizations. The current size is exported as the
+// `storage.reverse_map.size` gauge.
+constexpr size_t kReverseMapCap = 4096;
 
-std::unordered_map<std::string, std::string>& ReverseMap() {
-  static std::unordered_map<std::string, std::string> map;
-  return map;
+class ReverseMapLru {
+ public:
+  void Insert(const std::string& mangled, const std::string& original) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(mangled);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;  // content is immutable per mangled id
+    }
+    lru_.emplace_front(mangled, original);
+    index_[mangled] = lru_.begin();
+    while (index_.size() > kReverseMapCap) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+    CG_METRIC_GAUGE_SET("storage.reverse_map.size", index_.size());
+  }
+
+  std::optional<std::string> Find(const std::string& mangled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(mangled);
+    if (it == index_.end()) return std::nullopt;
+    lru_.splice(lru_.begin(), lru_, it->second);  // recovery refreshes recency
+    return it->second->second;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  // Front = most recently used. The index points into the list, so moves
+  // (splice) never invalidate it.
+  std::list<std::pair<std::string, std::string>> lru_;
+  std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string, std::string>>::iterator>
+      index_;
+};
+
+ReverseMapLru& ReverseMap() {
+  static ReverseMapLru* map = new ReverseMapLru();  // never destroyed
+  return *map;
 }
 
 }  // namespace
+
+size_t ReverseMapSizeForTest() { return ReverseMap().Size(); }
 
 uint64_t Fnv1a64(const std::string& s) {
   uint64_t h = 0xcbf29ce484222325ULL;
@@ -71,10 +120,7 @@ std::string SanitizeContextId(const std::string& context_id) {
   // the pass-through alphabet, so no safe id can ever forge a mangled name
   // and collide with a different mangled id.
   std::string mangled = cleaned + "%" + Sha256Hex(Sha256Of(context_id), 16);
-  {
-    std::lock_guard<std::mutex> lock(ReverseMapMutex());
-    ReverseMap().emplace(mangled, context_id);
-  }
+  ReverseMap().Insert(mangled, context_id);
   return mangled;
 }
 
@@ -83,10 +129,7 @@ std::optional<std::string> RecoverContextId(const std::string& sanitized) {
     // Pass-through namespace: sanitization was the identity.
     return sanitized;
   }
-  std::lock_guard<std::mutex> lock(ReverseMapMutex());
-  const auto it = ReverseMap().find(sanitized);
-  if (it == ReverseMap().end()) return std::nullopt;
-  return it->second;
+  return ReverseMap().Find(sanitized);
 }
 
 void KVStore::PutBatch(const std::string& context_id,

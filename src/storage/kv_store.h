@@ -40,8 +40,13 @@ std::string SanitizeContextId(const std::string& context_id);
 // The original id behind a '%'-mangled name produced by SanitizeContextId in
 // this process; pass-through names return themselves. nullopt for mangled
 // names this process never produced (e.g. directories adopted from a
-// previous run without a manifest entry).
+// previous run without a manifest entry) or whose entry aged out of the
+// bounded reverse map (capped LRU; size exported as the
+// `storage.reverse_map.size` gauge).
 std::optional<std::string> RecoverContextId(const std::string& sanitized);
+
+// Current entry count of the process-wide reverse map (test hook).
+size_t ReverseMapSizeForTest();
 
 struct ChunkKey {
   std::string context_id;

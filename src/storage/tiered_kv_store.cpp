@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cachegen {
 
@@ -256,6 +258,13 @@ void TieredKVStore::OnHotEviction(ShardedKVStore::EvictedContext&& victim) {
     pending_fifo_.emplace_back(id, entry);
     demotions_.fetch_add(1, std::memory_order_relaxed);
     demoted_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+    CG_METRIC_COUNT("storage.demotions", 1);
+    CG_METRIC_GAUGE_SET("storage.pending_demotion_bytes",
+                        pending_demotion_bytes_);
+    CG_TRACE_INSTANT("storage", "demote", "bytes",
+                     static_cast<double>(entry->bytes));
+    CG_TRACE_COUNTER("storage", "pending_demotion_bytes",
+                     static_cast<double>(pending_demotion_bytes_));
     EnforceColdCapacityLocked(&id, &erase_ids);
     EnforcePendingCapLocked(&erase_ids);
   }
@@ -267,6 +276,10 @@ void TieredKVStore::ReleasePendingLocked(ColdEntry& entry) {
   if (entry.pending_counted) {
     entry.pending_counted = false;
     pending_demotion_bytes_ -= entry.bytes;
+    CG_METRIC_GAUGE_SET("storage.pending_demotion_bytes",
+                        pending_demotion_bytes_);
+    CG_TRACE_COUNTER("storage", "pending_demotion_bytes",
+                     static_cast<double>(pending_demotion_bytes_));
   }
   // Lazily trim rows whose entries stopped pending (persisted, claimed,
   // replaced, dropped). Rows leave in roughly the same FIFO order they
@@ -304,6 +317,9 @@ void TieredKVStore::EnforcePendingCapLocked(
     if (it != cold_.end() && it->second == drop) cold_.erase(it);
     demotion_drops_.fetch_add(1, std::memory_order_relaxed);
     demotion_dropped_bytes_.fetch_add(drop->bytes, std::memory_order_relaxed);
+    CG_METRIC_COUNT("storage.demotion_drops", 1);
+    CG_TRACE_INSTANT("storage", "demotion_drop", "bytes",
+                     static_cast<double>(drop->bytes));
     // Nothing of THIS incarnation reached disk, but an older persisted
     // incarnation's files may be shadowed under the same directory; the
     // erase job reclaims them (FIFO order makes it run after our dead
@@ -336,6 +352,9 @@ void TieredKVStore::EnforceColdCapacityLocked(
     cold_evictions_.fetch_add(1, std::memory_order_relaxed);
     cold_evicted_bytes_.fetch_add(it->second->bytes,
                                   std::memory_order_relaxed);
+    CG_METRIC_COUNT("storage.cold_evictions", 1);
+    CG_TRACE_INSTANT("storage", "cold_evict", "bytes",
+                     static_cast<double>(it->second->bytes));
     // Unconditional, even for pending entries that never reached disk: a
     // pending RE-demotion can be shadowing stale files of an earlier
     // persisted incarnation whose own erase was skipped (it found this
@@ -485,6 +504,9 @@ KVTier TieredKVStore::LookupAndPin(const std::string& context_id, double t_s) {
   cold_hits_.fetch_add(1, std::memory_order_relaxed);
   promotions_.fetch_add(1, std::memory_order_relaxed);
   promoted_bytes_.fetch_add(bytes_promoted, std::memory_order_relaxed);
+  CG_METRIC_COUNT("storage.promotions", 1);
+  CG_TRACE_INSTANT("storage", "promote", "bytes",
+                   static_cast<double>(bytes_promoted));
   return KVTier::kCold;
 }
 

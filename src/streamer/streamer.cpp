@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cachegen {
 
 namespace {
@@ -84,6 +87,21 @@ StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
     step.gpu_done_s = std::max(rec.end_s, gpu_free_s) + gpu_seconds;
     gpu_free_s = step.gpu_done_s;
 
+    // Per-chunk lifecycle on the serving thread's request track: the
+    // transfer, then the GPU stage (prefill for text chunks, bitstream
+    // decode for KV chunks) that may lag it while the GPU drains peers.
+    [[maybe_unused]] const uint64_t track = obs::ScopedRequestId::Current();
+    CG_TRACE_VSPAN("streamer", config.text ? "chunk_tx_text" : "chunk_tx",
+                   track, rec.start_s, rec.end_s, "bytes", tx_bytes);
+    CG_TRACE_VSPAN("streamer",
+                   config.text ? "chunk_gpu_prefill" : "chunk_gpu_decode",
+                   track, std::max(rec.end_s, step.gpu_done_s - gpu_seconds),
+                   step.gpu_done_s);
+    CG_METRIC_COUNT(config.text ? "streamer.chunks_text"
+                                : "streamer.chunks_kv",
+                    1);
+    CG_METRIC_HIST("streamer.chunk_bytes", static_cast<uint64_t>(tx_bytes));
+
     measured_bytes_per_s = rec.Seconds() > 0.0 ? tx_bytes / rec.Seconds()
                                                : measured_bytes_per_s;
     result.bytes_sent += tx_bytes;
@@ -164,12 +182,17 @@ StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
       step.observed_gbps = span_s > 0.0 ? sent * 8.0 / 1e9 / span_s : 0.0;
       result.bytes_sent += sent;
 
+      [[maybe_unused]] const uint64_t track = obs::ScopedRequestId::Current();
+      CG_TRACE_VSPAN("streamer", "enh_tx", track, step.tx_start_s,
+                     step.tx_end_s, "bytes", sent);
       if (step.aborted) {
         step.gpu_done_s = step.tx_end_s;  // nothing applied
         // The link was still held through the wasted segments.
         result.stream_finish_s =
             std::max(result.stream_finish_s, step.tx_end_s - t0);
         ++result.enhancements_aborted;
+        CG_TRACE_VINSTANT("streamer", "enh_abort", track, step.tx_end_s);
+        CG_METRIC_COUNT("streamer.enhancements_aborted", 1);
       } else {
         const size_t tokens = plan.chunks[opt.chunk_index].range.size();
         const double gpu_seconds =
@@ -180,6 +203,9 @@ StreamResult KVStreamer::Stream(const ContextPlan& plan, Link& link,
         quality_tokens += opt.gain_tokens;
         enhanced_tokens += static_cast<double>(tokens);
         ++result.enhancements_sent;
+        CG_TRACE_VSPAN("streamer", "enh_gpu_decode", track,
+                       step.gpu_done_s - gpu_seconds, step.gpu_done_s);
+        CG_METRIC_COUNT("streamer.enhancements_sent", 1);
       }
       result.steps.push_back(step);
     }
