@@ -13,7 +13,11 @@ Checks (all hard failures):
   * at least one event exists for every required subsystem category;
   * at least one cluster-virtual-time request track (pid 2) carries the
     full request lifecycle: queue_wait, kv_stream, chunk_gpu_decode, and
-    write_back on a single timeline.
+    write_back on a single timeline;
+  * every pid-2 track that carries "cluster.event" FSM instants is a legal
+    event sequence: exactly one "admit" and it comes first, exactly one
+    "write_back_committed" and it comes last, at least one
+    "chunk_transfer_done" in between, timestamps non-decreasing.
 
 Usage: check_trace.py TRACE.json [--require-cat CAT ...]
 """
@@ -72,6 +76,7 @@ def main():
     open_spans = collections.defaultdict(list)  # (pid, tid) -> B-event stack
     cats_seen = collections.Counter()
     virtual_names = collections.defaultdict(set)  # tid -> event names on pid 2
+    fsm_events = collections.defaultdict(list)  # tid -> [(ts, name)] on pid 2
 
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -110,6 +115,8 @@ def main():
             cats_seen[ev["cat"]] += 1
         if ev["pid"] == VIRTUAL_PID and ph in ("X", "i"):
             virtual_names[ev["tid"]].add(ev["name"])
+            if ev.get("cat") == "cluster.event":
+                fsm_events[ev["tid"]].append((ts, ev["name"]))
 
     unclosed = {t: s for t, s in open_spans.items() if s}
     if unclosed:
@@ -121,6 +128,31 @@ def main():
             f"no events for required categories {missing} "
             f"(saw: {dict(cats_seen)})"
         )
+
+    for tid, seq in sorted(fsm_events.items()):
+        names = [n for _, n in seq]
+        if names.count("admit") != 1 or names[0] != "admit":
+            fail(
+                f"pid-2 track {tid}: cluster.event sequence must start with "
+                f"exactly one 'admit' (got {names})"
+            )
+        if names.count("write_back_committed") != 1 or \
+                names[-1] != "write_back_committed":
+            fail(
+                f"pid-2 track {tid}: cluster.event sequence must end with "
+                f"exactly one 'write_back_committed' (got {names})"
+            )
+        if "chunk_transfer_done" not in names:
+            fail(
+                f"pid-2 track {tid}: cluster.event sequence has no "
+                f"'chunk_transfer_done' (got {names})"
+            )
+        for (a_ts, a_name), (b_ts, b_name) in zip(seq, seq[1:]):
+            if b_ts < a_ts:
+                fail(
+                    f"pid-2 track {tid}: cluster.event ts goes backwards "
+                    f"({a_name}@{a_ts} -> {b_name}@{b_ts})"
+                )
 
     lifecycle_tracks = [
         tid for tid, names in virtual_names.items() if LIFECYCLE <= names
@@ -135,6 +167,7 @@ def main():
     print(
         f"OK: {len(events)} events, categories {dict(cats_seen)}, "
         f"{len(lifecycle_tracks)} request track(s) with the full lifecycle, "
+        f"{len(fsm_events)} track(s) with legal cluster.event sequences, "
         f"droppedEvents={other.get('droppedEvents')}"
     )
 

@@ -1,9 +1,14 @@
 #include "cluster/cluster_server.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "cluster/request_fsm.h"
 #include "codec/encoding_level.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -102,9 +107,197 @@ std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> tra
   }
 
   link_ = std::make_unique<SharedLink>(capacity_);
+  // GPU lanes price work at share(t) = 1/min(num_workers, in_flight(t)).
+  link_->SetGpuSlots(opts_.num_workers);
   RequestQueue queue(std::move(trace));
-  const auto policy = MakeSchedulerPolicy(opts_.policy);
 
+  if (opts_.serve_mode == ServeMode::kThreadPerRequest) {
+    ServeThreadPerRequest(queue, n, &outcomes);
+  } else {
+    ServeEventLoop(queue, n, &outcomes);
+  }
+
+  // Drain background tier work (the cold tier's demotion writer holds
+  // evicted bitstreams in RAM until persisted) so RAM is bounded per trace
+  // and on-disk state is settled before the caller inspects it.
+  tier_->Flush();
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const RequestOutcome& a, const RequestOutcome& b) {
+              return a.request.id < b.request.id;
+            });
+  return outcomes;
+}
+
+// One worker's claim from the coordinator: a request, its slot, and the
+// admission hold that caps virtual time until the worker's flow registers.
+struct ClusterServer::WorkChannel {
+  struct Admission {
+    ClusterRequest rq;
+    size_t worker = 0;
+    size_t slot = 0;
+    double admit_s = 0.0;
+    SharedLink::HoldId hold = 0;
+    double gpu_share = 1.0;  // adapter/hint prior, frozen at admission
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Admission> admissions;
+  // Post-completion codec tails (assemble/generate/pin-release): real CPU
+  // work with no virtual-time cost, drained by whichever worker goes idle
+  // first instead of by a thread outliving its slot.
+  std::deque<std::function<void()>> continuations;
+  bool closed = false;
+
+  void PushAdmission(Admission a) {
+    {
+      std::lock_guard lk(mu);
+      admissions.push_back(std::move(a));
+      CG_METRIC_GAUGE_SET("cluster.queue.admission_depth", admissions.size());
+    }
+    cv.notify_one();
+  }
+
+  void PushContinuation(std::function<void()> fn) {
+    {
+      std::lock_guard lk(mu);
+      continuations.push_back(std::move(fn));
+      CG_METRIC_GAUGE_SET("cluster.queue.continuation_depth",
+                          continuations.size());
+    }
+    cv.notify_one();
+  }
+
+  void Close() {
+    {
+      std::lock_guard lk(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+void ClusterServer::ServeEventLoop(RequestQueue& queue, size_t n,
+                                   std::vector<RequestOutcome>* outcomes) {
+  const auto policy = MakeSchedulerPolicy(opts_.policy);
+  std::vector<double> free_at(opts_.num_workers, 0.0);
+  std::vector<bool> busy(opts_.num_workers, false);
+  size_t in_flight = 0;
+  size_t admitted = 0;
+  WorkChannel channel;
+
+  // The fixed pool: admissions first (they gate virtual time), then
+  // continuations; exit only once the channel is closed and drained. Every
+  // tail is enqueued by a worker before that worker's next channel wait, so
+  // by the time the pool unwinds no continuation can be stranded.
+  const size_t pool_size = std::min(opts_.num_workers, n);
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.emplace_back([&] {
+      for (;;) {
+        WorkChannel::Admission adm;
+        std::function<void()> tail;
+        bool have_adm = false;
+        {
+          std::unique_lock lk(channel.mu);
+          channel.cv.wait(lk, [&] {
+            return channel.closed || !channel.admissions.empty() ||
+                   !channel.continuations.empty();
+          });
+          if (!channel.admissions.empty()) {
+            adm = std::move(channel.admissions.front());
+            channel.admissions.pop_front();
+            have_adm = true;
+            CG_METRIC_GAUGE_SET("cluster.queue.admission_depth",
+                                channel.admissions.size());
+          } else if (!channel.continuations.empty()) {
+            tail = std::move(channel.continuations.front());
+            channel.continuations.pop_front();
+            CG_METRIC_GAUGE_SET("cluster.queue.continuation_depth",
+                                channel.continuations.size());
+          } else {
+            return;  // closed and fully drained
+          }
+        }
+        if (have_adm) {
+          ServeOneEvent(std::move(adm.rq), adm.worker, adm.slot, adm.admit_s,
+                        adm.hold, adm.gpu_share, outcomes, channel);
+        } else {
+          tail();
+        }
+      }
+    });
+  }
+
+  // Admit onto every idle worker while requests remain. After this, either
+  // the queue is drained or every worker is busy. Queueing is deferred to
+  // the end of the batch so that simultaneously admitted requests all see
+  // the same post-batch contention prior (the actual GPU pricing is
+  // per-event in the arbiter's lanes, so the prior only seeds the adapter).
+  const auto admit_all = [&] {
+    std::vector<WorkChannel::Admission> batch;
+    while (!queue.Empty()) {
+      size_t w = opts_.num_workers;
+      for (size_t i = 0; i < opts_.num_workers; ++i) {
+        if (!busy[i] && (w == opts_.num_workers || free_at[i] < free_at[w])) {
+          w = i;
+        }
+      }
+      if (w == opts_.num_workers) break;  // all busy
+      const double admit_s = std::max(free_at[w], queue.NextArrival());
+      ClusterRequest rq = queue.PopReady(*policy, admit_s);
+      // Cap virtual time at the admission instant until the worker's flow
+      // registers, so no in-flight stream races past it unshared — and
+      // record the GPU ledger +1 under the same hold, so every lane segment
+      // from admit_s on is priced with this request contending.
+      const SharedLink::HoldId hold = link_->HoldAdmission(admit_s);
+      busy[w] = true;
+      ++in_flight;
+      CG_TRACE_VINSTANT("cluster", "admit", TraceTrack(rq), admit_s, "worker",
+                        static_cast<double>(w));
+      WorkChannel::Admission a;
+      a.rq = std::move(rq);
+      a.worker = w;
+      a.slot = admitted++;
+      a.admit_s = admit_s;
+      a.hold = hold;
+      batch.push_back(std::move(a));
+    }
+    if (!batch.empty()) CG_METRIC_COUNT("cluster.admission_batches", 1);
+    CG_METRIC_GAUGE_SET("cluster.in_flight", in_flight);
+    const double gpu_share =
+        1.0 / static_cast<double>(std::min(opts_.num_workers,
+                                           std::max<size_t>(1, in_flight)));
+    for (WorkChannel::Admission& a : batch) {
+      a.gpu_share = gpu_share;
+      channel.PushAdmission(std::move(a));
+    }
+  };
+
+  admit_all();
+  while (in_flight > 0) {
+    const SharedLink::Completion c = link_->PopCompletion(in_flight);
+    const size_t w = static_cast<size_t>(c.payload >> 32);
+    busy[w] = false;
+    free_at[w] = c.free_s;
+    --in_flight;
+    admit_all();  // admit before releasing the hold at c.free_s
+    link_->ReleaseHold(c.hold);
+  }
+
+  channel.Close();
+  for (std::thread& t : pool) t.join();
+  // Belt and braces: nothing should remain (each worker drains before
+  // exiting), but a continuation enqueued between another worker's final
+  // check and its exit is still run here.
+  for (auto& fn : channel.continuations) fn();
+  channel.continuations.clear();
+}
+
+void ClusterServer::ServeThreadPerRequest(RequestQueue& queue, size_t n,
+                                          std::vector<RequestOutcome>* outcomes) {
+  const auto policy = MakeSchedulerPolicy(opts_.policy);
   std::vector<double> free_at(opts_.num_workers, 0.0);
   std::vector<bool> busy(opts_.num_workers, false);
   size_t in_flight = 0;
@@ -112,16 +305,11 @@ std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> tra
   // One thread per request, joined at the end: a "freed" worker slot's
   // thread may still be running its post-completion codec tail
   // (assemble/generate), so threads outlive slots by design. Fine at bench
-  // scale (tens of requests); a 10k-request trace would want a fixed pool
-  // draining a tail-work queue instead.
+  // scale (tens of requests); this path exists only as the bench_event_loop
+  // baseline for the fixed-pool event loop above.
   std::vector<std::thread> threads;
   threads.reserve(n);
 
-  // Admit onto every idle worker while requests remain. After this, either
-  // the queue is drained or every worker is busy. Spawning is deferred to
-  // the end of the batch so that simultaneously admitted requests all see
-  // the same post-batch GPU contention (otherwise the first of N identical
-  // requests would be priced at full GPU while the last gets 1/N).
   struct Admission {
     ClusterRequest rq;
     size_t worker = 0;
@@ -141,9 +329,7 @@ std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> tra
       if (w == opts_.num_workers) break;  // all busy
       const double admit_s = std::max(free_at[w], queue.NextArrival());
       ClusterRequest rq = queue.PopReady(*policy, admit_s);
-      // Cap virtual time at the admission instant until the worker's flow
-      // registers, so no in-flight stream races past it unshared.
-      const SharedLink::HoldId hold = link_->HoldAt(admit_s);
+      const SharedLink::HoldId hold = link_->HoldAdmission(admit_s);
       busy[w] = true;
       ++in_flight;
       CG_TRACE_VINSTANT("cluster", "admit", TraceTrack(rq), admit_s, "worker",
@@ -152,17 +338,15 @@ std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> tra
     }
     if (!batch.empty()) CG_METRIC_COUNT("cluster.admission_batches", 1);
     CG_METRIC_GAUGE_SET("cluster.in_flight", in_flight);
-    // GPU contention snapshot, frozen per request. Deterministic, but a
-    // request admitted far in the virtual future may overestimate
-    // contention: peers counted here can finish before it even starts. A
-    // time-varying share needs per-event GPU accounting — future work.
+    // GPU contention snapshot, frozen per request: the stale-snapshot
+    // mispricing the event loop's per-event accounting fixes.
     const double gpu_share =
         1.0 / static_cast<double>(std::min(opts_.num_workers,
                                            std::max<size_t>(1, in_flight)));
     for (Admission& a : batch) {
       threads.emplace_back(&ClusterServer::ServeOne, this, std::move(a.rq),
                            a.worker, a.slot, a.admit_s, a.hold, gpu_share,
-                           &outcomes);
+                           outcomes);
     }
   };
 
@@ -178,15 +362,173 @@ std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> tra
   }
 
   for (std::thread& t : threads) t.join();
-  // Drain background tier work (the cold tier's demotion writer holds
-  // evicted bitstreams in RAM until persisted) so RAM is bounded per trace
-  // and on-disk state is settled before the caller inspects it.
-  tier_->Flush();
-  std::sort(outcomes.begin(), outcomes.end(),
-            [](const RequestOutcome& a, const RequestOutcome& b) {
-              return a.request.id < b.request.id;
-            });
-  return outcomes;
+}
+
+void ClusterServer::ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
+                                  double admit_s, SharedLink::HoldId admit_hold,
+                                  double gpu_share,
+                                  std::vector<RequestOutcome>* outcomes,
+                                  WorkChannel& channel) {
+  // Everything this pool worker records below lands on this request's
+  // virtual track, including streamer and net events.
+  const uint64_t track = TraceTrack(rq);
+  obs::ScopedRequestId rid(track);
+  CG_TRACE_VSPAN("cluster", "queue_wait", track, rq.arrival_s, admit_s);
+
+  RequestFsm fsm(track);
+  fsm.Feed(RequestEvent::kAdmit, admit_s);
+
+  const SharedLink::FlowId flow = link_->Register(admit_s, rq.weight);
+  // Our unparked flow now freezes virtual time; the admission hold can go.
+  link_->ReleaseHold(admit_hold);
+
+  const TierLookup look = tier_->LookupAndPin(rq.context_id, rq.spec, admit_s);
+  const bool hit = look.hit();
+  const bool prefix = look.prefix_hit();
+  const bool cold = look.any_cold;
+  PinGuard pin =
+      look.pinned ? PinGuard::Adopt(*tier_, rq.context_id) : PinGuard();
+
+  const ContextPlan plan = engine_.PlanFromCalibration(rq.spec.num_tokens);
+  const double slo = rq.slo_s;
+  const double queue_delay = admit_s - rq.arrival_s;
+  const double slo_budget = std::max(0.05, slo - queue_delay);
+  KVStreamer streamer(engine_.cost(), engine_.model(), slo_budget,
+                      DefaultEncodingLevels().size());
+
+  // First-chunk prior, identical to the legacy path: the frozen admission
+  // share only seeds the adapter and the throughput hint — actual GPU time
+  // is priced per event by the arbiter's lane as it drains.
+  double hint = opts_.throughput_hint_gbps.value_or(
+      link_->CapacityGbpsAt(admit_s) * gpu_share);
+  if (cold) hint = std::min(hint, opts_.cold_read_gbps);
+
+  const StreamMode mode =
+      hit ? (opts_.progressive ? StreamMode::kProgressive : StreamMode::kAdaptive)
+          : (prefix ? StreamMode::kAdaptive : StreamMode::kForceText);
+  const size_t kv_limit = prefix ? look.covered_chunks : SIZE_MAX;
+  ClientLink client(*link_, flow);
+  std::optional<ThrottledLink> cold_client;
+  if (cold) cold_client.emplace(client, opts_.cold_read_gbps, opts_.cold_seek_s);
+  Link& path = cold ? static_cast<Link&>(*cold_client) : client;
+
+  StreamHooks hooks;
+  hooks.post_gpu = [&](double arrival_s, double const_s, double shared_s) {
+    link_->PostGpuWork(flow, arrival_s, const_s, shared_s);
+  };
+  hooks.drain_gpu = [&] { return link_->DrainGpu(flow); };
+  hooks.on_transfer = [&](const StreamStep& step) {
+    if (step.enhancement && fsm.state() == RequestState::kKvStreaming) {
+      fsm.Feed(RequestEvent::kEnhance, step.tx_start_s);
+    }
+    fsm.Feed(RequestEvent::kChunkTransferDone, step.tx_end_s);
+  };
+  const StreamResult sr =
+      streamer.Stream(plan, path, gpu_share, hint, mode, kv_limit, &hooks);
+
+  // Transfers are done (last chunk_transfer_done instant) and the GPU lane
+  // has drained inside Stream(); stamp the two tail events.
+  fsm.Feed(RequestEvent::kDecode, fsm.last_event_s());
+  fsm.Feed(RequestEvent::kDecodeDone, admit_s + sr.stream_finish_s);
+
+  const double free_s = admit_s + std::max(sr.ttft_s, sr.stream_finish_s);
+
+  RequestOutcome& out = (*outcomes)[slot];
+  out.request = rq;
+  out.worker = worker;
+  out.admit_s = admit_s;
+  out.queue_delay_s = queue_delay;
+  out.load_finish_s = sr.load_finish_s;
+  out.ttft_s = queue_delay + sr.ttft_s;
+  out.finish_s = free_s;
+  out.slo_violated = queue_delay + sr.load_finish_s > slo + 1e-12;
+  out.cache_hit = hit;
+  out.cold_hit = hit && look.tier == KVTier::kCold;
+  out.prefix_hit = prefix;
+  out.covered_tokens = look.covered_tokens;
+  out.forced_text = !hit && !prefix;
+  out.quality = sr.quality;
+  out.bytes_sent = sr.bytes_sent;
+  out.base_quality = sr.base_quality;
+  out.refine_delay_s = std::max(0.0, sr.stream_finish_s - sr.load_finish_s);
+  out.base_token_fraction = sr.base_token_fraction;
+  out.enhanced_token_fraction = sr.enhanced_token_fraction;
+
+  CG_TRACE_VSPAN("cluster", "kv_stream", track, admit_s,
+                 admit_s + sr.load_finish_s, "bytes",
+                 static_cast<double>(sr.bytes_sent));
+  CG_METRIC_COUNT("cluster.requests", 1);
+  if (hit) {
+    CG_METRIC_COUNT(out.cold_hit ? "cluster.hits.cold" : "cluster.hits.hot", 1);
+  } else if (prefix) {
+    CG_METRIC_COUNT("cluster.hits.prefix", 1);
+  } else {
+    CG_METRIC_COUNT("cluster.misses", 1);
+  }
+  if (out.slo_violated) CG_METRIC_COUNT("cluster.slo_violations", 1);
+  CG_METRIC_COUNT("cluster.bytes_sent", sr.bytes_sent);
+  CG_METRIC_HIST("cluster.ttft_us", static_cast<uint64_t>(out.ttft_s * 1e6));
+  CG_METRIC_HIST("cluster.queue_delay_us",
+                 static_cast<uint64_t>(queue_delay * 1e6));
+
+  // Cache-tier mutations happen BEFORE the worker slot is handed back —
+  // same reproducibility contract as the legacy path (see ServeOne).
+  if (!hit && opts_.write_back_on_miss) {
+    tier_->BeginStore(rq.context_id, rq.spec);
+    PinGuard write_pin = PinGuard::Acquire(*tier_, rq.context_id);
+    [[maybe_unused]] const uint64_t wb_start_us = obs::Tracer::NowUs();
+    try {
+      engine_.StoreKV(rq.context_id, rq.spec);
+      tier_->Touch(rq.context_id, free_s);
+      CG_METRIC_COUNT("cluster.write_backs", 1);
+    } catch (const std::exception&) {
+      tier_->AbortStore(rq.context_id);
+      CG_METRIC_COUNT("cluster.write_back_failures", 1);
+    }
+    CG_TRACE_VSPAN("cluster", "write_back", track, free_s,
+                   free_s + static_cast<double>(obs::Tracer::NowUs() -
+                                                wb_start_us) *
+                                1e-6);
+  }
+  // Commit (or trivial skip) settled: the request's terminal event.
+  fsm.Feed(RequestEvent::kWriteBackCommitted, free_s);
+
+  const bool keep_pin_for_assembly = hit && opts_.assemble_kv;
+  if (look.pinned && !keep_pin_for_assembly) pin.Release();
+  link_->CompleteFlow(flow, free_s, PackPayload(worker, slot));
+
+  // The codec tail — real CPU, no virtual-time cost — goes to the
+  // continuation queue instead of keeping this slot's thread alive: any
+  // worker that goes idle drains it. The assembly pin rides along in a
+  // shared_ptr (std::function requires copyable captures).
+  std::vector<int> levels;
+  if (keep_pin_for_assembly) {
+    levels.reserve(sr.steps.size());
+    for (const StreamStep& step : sr.steps) {
+      if (step.enhancement) continue;
+      levels.push_back(step.config.text ? -1 : step.config.level_id);
+    }
+  }
+  auto tail_pin = std::make_shared<PinGuard>(std::move(pin));
+  channel.PushContinuation(
+      [this, spec = rq.spec, ctx = rq.context_id, levels = std::move(levels),
+       assemble = keep_pin_for_assembly, tail_pin, quality = sr.quality,
+       out_ptr = &out, track] {
+        obs::ScopedRequestId tail_rid(track);
+        if (assemble) {
+          CG_TRACE_SPAN("cluster", "assemble_kv");
+          try {
+            const KVCache kv = engine_.AssembleKV(ctx, spec, levels);
+            (void)kv;
+          } catch (const std::exception&) {
+            // A chunk was evicted between lookup and assembly under extreme
+            // capacity pressure; the text path would recompute it (already
+            // priced into the streaming timeline as the coarsest outcome).
+          }
+          tail_pin->Release();
+        }
+        out_ptr->answer_correct = engine_.GenerateWithKV(spec, quality).correct;
+      });
 }
 
 void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,

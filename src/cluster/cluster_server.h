@@ -1,11 +1,20 @@
 // ClusterServer: the concurrent serving layer above the single-request
 // substrate (codec -> streamer -> engine). One Engine, one CacheTier, one
-// shared network path, W workers:
+// shared network path, and a fixed pool of W worker threads driving a
+// completion-queue / progress-engine loop:
 //
-//   coordinator --admits--> worker threads --stream--> SharedLink (fair share)
-//        ^                       |
-//        |                       +-- Engine::AssembleKV / StoreKV / GenerateWithKV
+//   coordinator --admission queue--> worker pool --stream--> SharedLink
+//        ^                             |   ^
+//        |                             |   +-- continuation queue (codec
+//        |                             |       tails: assemble/generate)
+//        |                             +-- Engine::AssembleKV / StoreKV
 //        +---- completion channel (virtual-time ordered) ----+
+//
+// Each request is a RequestFsm advanced by events (admission, chunk-transfer
+// done, decode done, write-back committed); no thread is ever spawned per
+// request, so 100k+-request traces run on num_workers OS threads. Workers
+// that go idle drain the continuation queue, so post-completion codec tails
+// parallelize without outliving any slot.
 //
 // Admission: when a worker frees at virtual instant t, the scheduler policy
 // (FIFO / shortest-load-first / SLO-deadline-first) picks among requests
@@ -13,7 +22,11 @@
 // the unmodified KVStreamer — its adapter sees the *observed shared*
 // throughput and the SLO budget left after queueing, so concurrency
 // organically pushes streams to coarser encoding levels, exactly the
-// contention behavior of the paper's Fig. 12/13.
+// contention behavior of the paper's Fig. 12/13. GPU time is accounted per
+// event: every chunk's decode/prefill is posted to the request's GPU lane
+// and priced at share(t) = 1/min(W, in_flight(t)) as it drains, so a peer
+// finishing (or being admitted) re-prices every in-flight request from that
+// completion instant onward instead of freezing one snapshot per admission.
 //
 // Cache behavior — four scenarios, priced by one CacheTier lookup:
 //   hot full hit    — stream encoded KV from RAM (kAdaptive/kProgressive);
@@ -65,9 +78,22 @@ namespace cachegen {
 
 class ClusterServer {
  public:
+  enum class ServeMode {
+    // Fixed pool of worker threads driving a completion-queue loop: each
+    // request is a RequestFsm advanced by events, codec tails drain through
+    // a continuation queue, and GPU work is priced per event by the
+    // arbiter's lanes. OS thread count is bounded by num_workers regardless
+    // of trace length.
+    kEventLoop,
+    // Legacy one-std::thread-per-request serving with the GPU share frozen
+    // at admission. Kept as the bench_event_loop comparison baseline only.
+    kThreadPerRequest,
+  };
+
   struct Options {
     size_t num_workers = 4;
     SchedulerPolicyKind policy = SchedulerPolicyKind::kFifo;
+    ServeMode serve_mode = ServeMode::kEventLoop;
     double default_slo_s = 2.0;  // for requests with slo_s <= 0
     // Decode the delivered bitstreams into a real KVCache after streaming
     // (exercises the actual codec; costs real CPU, not virtual time).
@@ -130,6 +156,19 @@ class ClusterServer {
   const SharedLink* link() const { return link_.get(); }
 
  private:
+  struct WorkChannel;  // admission + continuation queues of one event loop
+
+  void ServeEventLoop(RequestQueue& queue, size_t n,
+                      std::vector<RequestOutcome>* outcomes);
+  void ServeThreadPerRequest(RequestQueue& queue, size_t n,
+                             std::vector<RequestOutcome>* outcomes);
+  // One request end to end on a pool worker: stream (GPU priced per event),
+  // write back, complete the flow, enqueue the codec tail.
+  void ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
+                     double admit_s, SharedLink::HoldId admit_hold,
+                     double gpu_share, std::vector<RequestOutcome>* outcomes,
+                     WorkChannel& channel);
+  // Legacy baseline body (ServeMode::kThreadPerRequest).
   void ServeOne(ClusterRequest rq, size_t worker, size_t slot, double admit_s,
                 SharedLink::HoldId admit_hold, double gpu_share,
                 std::vector<RequestOutcome>* outcomes);

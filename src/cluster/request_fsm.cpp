@@ -1,0 +1,95 @@
+#include "cluster/request_fsm.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace cachegen {
+
+const char* RequestStateName(RequestState s) {
+  switch (s) {
+    case RequestState::kAdmitted: return "admitted";
+    case RequestState::kKvStreaming: return "kv_streaming";
+    case RequestState::kEnhancing: return "enhancing";
+    case RequestState::kDecoding: return "decoding";
+    case RequestState::kWriteBack: return "write_back";
+    case RequestState::kDone: return "done";
+  }
+  return "?";
+}
+
+const char* RequestEventName(RequestEvent e) {
+  switch (e) {
+    case RequestEvent::kAdmit: return "admit";
+    case RequestEvent::kChunkTransferDone: return "chunk_transfer_done";
+    case RequestEvent::kEnhance: return "enhance";
+    case RequestEvent::kDecode: return "decode";
+    case RequestEvent::kDecodeDone: return "decode_done";
+    case RequestEvent::kWriteBackCommitted: return "write_back_committed";
+  }
+  return "?";
+}
+
+bool LegalTransition(RequestState s, RequestEvent e, RequestState* next) {
+  RequestState out;
+  bool ok = false;
+  switch (s) {
+    case RequestState::kAdmitted:
+      ok = e == RequestEvent::kAdmit;
+      out = RequestState::kKvStreaming;
+      break;
+    case RequestState::kKvStreaming:
+      if (e == RequestEvent::kChunkTransferDone) {
+        ok = true;
+        out = RequestState::kKvStreaming;
+      } else if (e == RequestEvent::kEnhance) {
+        ok = true;
+        out = RequestState::kEnhancing;
+      } else if (e == RequestEvent::kDecode) {
+        ok = true;
+        out = RequestState::kDecoding;
+      }
+      break;
+    case RequestState::kEnhancing:
+      if (e == RequestEvent::kChunkTransferDone) {
+        ok = true;
+        out = RequestState::kEnhancing;
+      } else if (e == RequestEvent::kDecode) {
+        ok = true;
+        out = RequestState::kDecoding;
+      }
+      break;
+    case RequestState::kDecoding:
+      ok = e == RequestEvent::kDecodeDone;
+      out = RequestState::kWriteBack;
+      break;
+    case RequestState::kWriteBack:
+      ok = e == RequestEvent::kWriteBackCommitted;
+      out = RequestState::kDone;
+      break;
+    case RequestState::kDone:
+      break;
+  }
+  if (ok && next != nullptr) *next = out;
+  return ok;
+}
+
+void RequestFsm::Feed(RequestEvent event, double t_s) {
+  RequestState next;
+  if (!LegalTransition(state_, event, &next)) {
+    throw std::logic_error(std::string("RequestFsm: illegal event '") +
+                           RequestEventName(event) + "' in state '" +
+                           RequestStateName(state_) + "'");
+  }
+  state_ = next;
+  // Clamp: instants from different sources (transfer grants, drained GPU
+  // completions, commit instants) may disagree by rounding; the per-track
+  // trace contract is non-decreasing timestamps.
+  last_event_s_ = std::max(last_event_s_, t_s);
+  CG_TRACE_VINSTANT("cluster.event", RequestEventName(event), track_,
+                    last_event_s_);
+}
+
+}  // namespace cachegen

@@ -1,0 +1,74 @@
+// RequestFsm: the per-request state machine at the heart of the event-driven
+// serving core. A request admitted by the coordinator is advanced by events —
+// admission, chunk-transfer done, decode done, write-back committed — through
+//
+//   Admitted -> KvStreaming -> [Enhancing] -> Decoding -> WriteBack -> Done
+//
+// (Enhancing is entered only by progressive streams that ship at least one
+// enhancement layer.) The table below is the single source of truth for
+// legality; feeding an event a state does not accept throws std::logic_error,
+// so a mis-sequenced worker fails loudly instead of corrupting accounting.
+//
+// Every accepted transition emits a `cluster.event` instant on the request's
+// pid-2 virtual-time track. Event instants are clamped to be non-decreasing
+// per track: the loop hands the FSM instants from different sources (arbiter
+// grant times, drained GPU completions, write-back commit instants) whose
+// floating-point rounding may disagree by ulps, and the trace contract
+// (ci/check_trace.py) requires per-track monotonicity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cachegen {
+
+enum class RequestState {
+  kAdmitted,     // picked by the scheduler; flow not yet streaming
+  kKvStreaming,  // base-pass chunk transfers in flight
+  kEnhancing,    // progressive enhancement transfers in flight
+  kDecoding,     // transfers done; GPU lane draining decode/prefill work
+  kWriteBack,    // cache-tier mutation (or trivially skipped) in progress
+  kDone,
+};
+
+enum class RequestEvent {
+  kAdmit,               // coordinator admitted the request at admit_s
+  kChunkTransferDone,   // one chunk/segment transfer completed
+  kEnhance,             // first enhancement transfer begins
+  kDecode,              // last transfer done; GPU tail drain begins
+  kDecodeDone,          // GPU lane empty: every chunk usable
+  kWriteBackCommitted,  // cache mutation settled (or skipped): terminal
+};
+
+constexpr size_t kNumRequestStates = 6;
+constexpr size_t kNumRequestEvents = 6;
+
+const char* RequestStateName(RequestState s);
+const char* RequestEventName(RequestEvent e);
+
+// Pure transition-table query: the state reached by feeding `e` in `s`, or
+// false if the pair is illegal. Exposed separately from the stateful class so
+// tests can sweep the full (state, event) cross product.
+bool LegalTransition(RequestState s, RequestEvent e, RequestState* next);
+
+class RequestFsm {
+ public:
+  // `track` is the request's pid-2 trace track (request id + 1).
+  explicit RequestFsm(uint64_t track) : track_(track) {}
+
+  RequestState state() const { return state_; }
+  // Latest (clamped) event instant emitted on this track.
+  double last_event_s() const { return last_event_s_; }
+
+  // Advance on `event` at virtual instant `t_s` (clamped to keep the track
+  // monotone) and emit the `cluster.event` trace instant. Throws
+  // std::logic_error when the transition is illegal.
+  void Feed(RequestEvent event, double t_s);
+
+ private:
+  uint64_t track_;
+  RequestState state_ = RequestState::kAdmitted;
+  double last_event_s_ = 0.0;
+};
+
+}  // namespace cachegen

@@ -30,6 +30,74 @@ void SharedLink::ReleaseHold(HoldId id) {
   cv_.notify_all();
 }
 
+void SharedLink::SetGpuSlots(size_t n) {
+  std::lock_guard lk(mu_);
+  gpu_slots_ = n;
+}
+
+SharedLink::HoldId SharedLink::HoldAdmission(double t_s) {
+  std::lock_guard lk(mu_);
+  const HoldId id = next_hold_++;
+  const double t = std::max(t_s, now_s_);
+  holds_[id] = t;
+  // The +1 rides under this hold: time cannot pass the admission instant
+  // until the caller releases it, so no lane segment beyond t is ever priced
+  // without this entry.
+  gpu_events_[t] += 1;
+  return id;
+}
+
+void SharedLink::PostGpuWork(FlowId id, double arrival_s, double const_s,
+                             double shared_s) {
+  std::lock_guard lk(mu_);
+  Flow& f = flows_.at(id);
+  GpuItem item;
+  item.arrival_s = std::max(arrival_s, 0.0);
+  item.const_rem = std::max(const_s, 0.0);
+  item.shared_rem = std::max(shared_s, 0.0);
+  if (item.const_rem <= 0.0 && item.shared_rem <= 0.0) {
+    // Degenerate item: completes the instant it becomes head.
+    item.const_rem = 0.0;
+    item.shared_rem = 0.0;
+  }
+  f.lane.push_back(item);
+  // No AdvanceLocked: the posting worker is unparked, so time is frozen; the
+  // lane drains on the next advance.
+}
+
+std::vector<double> SharedLink::DrainGpu(FlowId id) {
+  std::unique_lock lk(mu_);
+  Flow& f = flows_.at(id);
+  if (!f.lane.empty()) {
+    f.t_start = f.clock;
+    f.remaining = 0.0;
+    f.wake_at = -1.0;
+    f.done = false;
+    f.parked = true;
+    f.draining = true;
+    AdvanceLocked();
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return f.done; });
+    f.done = false;
+    f.draining = false;
+    f.clock = f.end_s;
+  }
+  std::vector<double> out = std::move(f.gpu_done);
+  f.gpu_done.clear();
+  return out;
+}
+
+double SharedLink::GpuShareAt(double t_s) const {
+  std::lock_guard lk(mu_);
+  int n = gpu_base_inflight_;
+  for (const auto& [t, delta] : gpu_events_) {
+    if (t <= t_s + kTimeEps) n += delta;
+  }
+  size_t eff = static_cast<size_t>(std::max(1, n));
+  if (gpu_slots_ > 0) eff = std::min(eff, gpu_slots_);
+  return 1.0 / static_cast<double>(eff);
+}
+
 SharedLink::FlowId SharedLink::Register(double start_s, double weight) {
   std::lock_guard lk(mu_);
   const FlowId id = next_flow_++;
@@ -110,6 +178,9 @@ void SharedLink::CompleteFlow(FlowId id, double free_s, uint64_t payload) {
   c.payload = payload;
   c.hold = next_hold_++;
   holds_[c.hold] = c.free_s;
+  // Ledger -1 at the free instant, atomic with the hold: every surviving
+  // lane is priced at the higher share from this instant onward.
+  gpu_events_[c.free_s] -= 1;
   completions_.push_back(c);
   AdvanceLocked();
   cv_.notify_all();
@@ -158,6 +229,20 @@ double SharedLink::MinHoldLocked() const {
   return t;
 }
 
+double SharedLink::GpuShareLocked() const {
+  size_t eff = static_cast<size_t>(std::max(1, gpu_base_inflight_));
+  if (gpu_slots_ > 0) eff = std::min(eff, gpu_slots_);
+  return 1.0 / static_cast<double>(eff);
+}
+
+void SharedLink::FoldGpuLedgerLocked() {
+  while (!gpu_events_.empty() &&
+         gpu_events_.begin()->first <= now_s_ + kTimeEps) {
+    gpu_base_inflight_ += gpu_events_.begin()->second;
+    gpu_events_.erase(gpu_events_.begin());
+  }
+}
+
 double SharedLink::NextSegmentBoundaryAfter(double t_s) const {
   for (const auto& seg : capacity_.segments()) {
     if (seg.start_s > t_s + kTimeEps) return seg.start_s;
@@ -172,6 +257,10 @@ void SharedLink::AdvanceLocked() {
       if (!f.parked) return;  // a worker thread is mid-computation: freeze
     }
 
+    // Every ledger event at or before now is settled; fold it into the base
+    // count so share lookups are O(1) and the event map stays small.
+    FoldGpuLedgerLocked();
+
     // Wake waiters whose instant has been reached (even under a hold).
     bool completed = false;
     double dormant_t = kInf, wake_t = kInf;
@@ -183,6 +272,15 @@ void SharedLink::AdvanceLocked() {
         } else {
           active.push_back(&f);
         }
+      } else if (f.draining) {
+        if (f.lane.empty()) {
+          f.parked = false;
+          f.done = true;
+          f.end_s = std::max(f.clock, now_s_);
+          completed = true;
+        }
+        // else: the wake event is the lane's last item finishing, priced in
+        // the GPU scan below.
       } else if (f.wake_at <= now_s_ + kTimeEps) {
         f.parked = false;
         f.done = true;
@@ -198,51 +296,83 @@ void SharedLink::AdvanceLocked() {
     if (hold_cap <= now_s_ + kTimeEps) return;  // parked at a hold
 
     double t_next = std::min({hold_cap, dormant_t, wake_t});
-    if (active.empty()) {
-      if (!std::isfinite(t_next)) return;
-      now_s_ = t_next;
-      continue;
-    }
-
     t_next = std::min(t_next, NextSegmentBoundaryAfter(now_s_));
-    const double cap_bps = capacity_.BytesPerSecAt(now_s_);
-    if (cap_bps <= 0.0) {
-      // Dead air: jump to the next instant anything changes.
-      if (!std::isfinite(t_next)) return;
-      now_s_ = t_next;
-      continue;
+    // The GPU share changes at the next ledger instant; no lane segment may
+    // integrate across it.
+    if (!gpu_events_.empty()) {
+      t_next = std::min(t_next, gpu_events_.begin()->first);
     }
 
+    // GPU lane heads: project each startable head's completion at the
+    // current share; future starts are boundaries of their own.
+    const double share = GpuShareLocked();
+    std::vector<std::pair<Flow*, double>> gpu_heads;  // flow -> projected fin
+    double min_gpu_finish = kInf;
+    for (auto& [id, f] : flows_) {
+      if (f.lane.empty()) continue;
+      const GpuItem& head = f.lane.front();
+      const double start = std::max(head.arrival_s, f.lane_ready);
+      if (start > now_s_ + kTimeEps) {
+        t_next = std::min(t_next, start);
+        continue;
+      }
+      const double fin = now_s_ + head.const_rem + head.shared_rem / share;
+      gpu_heads.emplace_back(&f, fin);
+      min_gpu_finish = std::min(min_gpu_finish, fin);
+    }
+
+    const double cap_bps = capacity_.BytesPerSecAt(now_s_);
     double weight_sum = 0.0;
     for (const Flow* f : active) weight_sum += f->weight;
-    std::vector<double> finish(active.size());
-    double min_finish = kInf;
-    for (size_t i = 0; i < active.size(); ++i) {
-      const double rate = cap_bps * active[i]->weight / weight_sum;
-      finish[i] = now_s_ + active[i]->remaining / rate;
-      min_finish = std::min(min_finish, finish[i]);
+    std::vector<double> finish(active.size(), kInf);
+    double min_bw_finish = kInf;
+    if (cap_bps > 0.0) {
+      for (size_t i = 0; i < active.size(); ++i) {
+        const double rate = cap_bps * active[i]->weight / weight_sum;
+        finish[i] = now_s_ + active[i]->remaining / rate;
+        min_bw_finish = std::min(min_bw_finish, finish[i]);
+      }
     }
+    // else dead air: transfers drain nothing until the next capacity segment.
 
-    // If the binding event is a flow finish, complete it by construction:
-    // `remaining -= rate * dt` cannot be trusted to reach zero once now_s_ is
-    // large enough that rate * ulp(now_s_) rivals the byte epsilon.
+    // If the binding event is a transfer or lane-item finish, complete it by
+    // construction: `remaining -= rate * dt` cannot be trusted to reach zero
+    // once now_s_ is large enough that rate * ulp(now_s_) rivals the epsilon.
+    const double min_finish = std::min(min_bw_finish, min_gpu_finish);
     const bool finish_event = min_finish <= t_next;
     if (finish_event) t_next = min_finish;
+    if (!std::isfinite(t_next)) return;  // nothing pending can ever fire
     const double finish_tol =
         t_next + 4.0 * std::numeric_limits<double>::epsilon() * std::max(1.0, t_next);
 
     const double dt = t_next - now_s_;
-    for (size_t i = 0; i < active.size(); ++i) {
-      Flow* f = active[i];
-      if (finish_event && finish[i] <= finish_tol) {
-        f->remaining = 0.0;
-        f->parked = false;
-        f->done = true;
-        f->end_s = t_next;
-        completed = true;
+    if (cap_bps > 0.0) {
+      for (size_t i = 0; i < active.size(); ++i) {
+        Flow* f = active[i];
+        if (finish_event && finish[i] <= finish_tol) {
+          f->remaining = 0.0;
+          f->parked = false;
+          f->done = true;
+          f->end_s = t_next;
+          completed = true;
+        } else {
+          const double rate = cap_bps * f->weight / weight_sum;
+          f->remaining = std::max(0.0, f->remaining - rate * dt);
+        }
+      }
+    }
+    for (auto& [f, fin] : gpu_heads) {
+      GpuItem& head = f->lane.front();
+      if (finish_event && fin <= finish_tol) {
+        f->gpu_done.push_back(t_next);
+        f->lane_ready = t_next;
+        f->lane.pop_front();
+        // Waking a drained flow (lane now empty) happens at the top of the
+        // next iteration; a mid-stream lane pop wakes nobody.
       } else {
-        const double rate = cap_bps * f->weight / weight_sum;
-        f->remaining = std::max(0.0, f->remaining - rate * dt);
+        const double c = std::min(head.const_rem, dt);
+        head.const_rem -= c;
+        head.shared_rem = std::max(0.0, head.shared_rem - (dt - c) * share);
       }
     }
     now_s_ = t_next;

@@ -24,10 +24,29 @@
 // holds time at its finish instant, removes its flow}, and PopCompletion
 // releases completions in virtual-time order — so scheduling decisions
 // depend only on simulated timestamps, never on thread races.
+//
+// GPU accounting (per-event shares). The GPU is modelled like the link: a
+// shared resource whose per-request share changes at every admission and
+// completion instant, not a constant frozen at admission. The arbiter keeps
+//   * a ledger of in-flight deltas (+1 at each HoldAdmission instant, -1 at
+//     each CompleteFlow instant), and
+//   * one FIFO *lane* of GPU work items per flow (PostGpuWork). An item has
+//     a constant part (per-call overhead, drains at rate 1) and a shared
+//     part (compute, drains at rate share(t) = 1 / min(gpu_slots,
+//     max(1, in_flight(t)))).
+// Lanes drain inside AdvanceLocked as virtual time advances, so a work item
+// spanning a peer's completion is priced piecewise: the stale-snapshot
+// mispricing the old per-admission share had is gone. Determinism holds
+// because every ledger event is recorded under a hold at its own instant
+// (admissions by the coordinator, completions by CompleteFlow itself), so
+// by the time AdvanceLocked walks a segment the ledger over that segment is
+// complete. DrainGpu parks the flow until its lane is empty and hands back
+// the per-item completion instants.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -49,6 +68,25 @@ class SharedLink {
   // Virtual time never advances past the earliest outstanding hold.
   HoldId HoldAt(double t_s);
   void ReleaseHold(HoldId id);
+
+  // --- GPU accounting -------------------------------------------------------
+  // Cap on concurrent GPU sharers (the cluster's worker count); 0 = uncapped.
+  void SetGpuSlots(size_t n);
+  // HoldAt plus a ledger entry: one more request contends for the GPU from
+  // `t_s` on. Pair every HoldAdmission with exactly one later CompleteFlow
+  // (which records the matching -1 at its free instant).
+  HoldId HoldAdmission(double t_s);
+  // Append a work item to the flow's GPU lane. `const_s` drains at rate 1
+  // (per-call overhead); `shared_s` drains at rate share(t). The item starts
+  // at max(arrival_s, previous item's completion). Non-blocking; the lane
+  // drains as virtual time advances.
+  void PostGpuWork(FlowId id, double arrival_s, double const_s, double shared_s);
+  // Park the calling worker until the flow's lane is empty; returns the
+  // completion instant of every item posted since Register, in post order.
+  std::vector<double> DrainGpu(FlowId id);
+  // Ledger introspection (tests): share in effect at instant t_s. Only
+  // instants <= now() are guaranteed settled.
+  double GpuShareAt(double t_s) const;
 
   // --- flows ----------------------------------------------------------------
   // Register a flow whose first transfer may start at `start_s` (>= now()).
@@ -91,15 +129,25 @@ class SharedLink {
   const BandwidthTrace& capacity() const { return capacity_; }
 
  private:
+  struct GpuItem {
+    double arrival_s = 0.0;   // earliest start (the chunk's transfer end)
+    double const_rem = 0.0;   // seconds left of the rate-1 overhead part
+    double shared_rem = 0.0;  // seconds left of the share-priced part
+  };
+
   struct Flow {
     double clock = 0.0;      // flow-local time: end of last finished transfer
     double weight = 1.0;
-    bool parked = false;     // thread blocked in Transfer/WaitUntil
+    bool parked = false;     // thread blocked in Transfer/WaitUntil/DrainGpu
     bool done = false;       // pending op finished; thread may resume
+    bool draining = false;   // parked in DrainGpu until the lane empties
     double remaining = 0.0;  // bytes left of the pending transfer
     double wake_at = -1.0;   // WaitUntil target (when remaining == 0)
     double t_start = 0.0;    // pending transfer start
     double end_s = 0.0;      // pending op completion time
+    std::deque<GpuItem> lane;       // FIFO GPU work queue
+    double lane_ready = 0.0;        // completion instant of the popped head
+    std::vector<double> gpu_done;   // per-item completion instants, post order
   };
 
   // Advance virtual time while every flow is parked, holds permit, and no
@@ -107,6 +155,10 @@ class SharedLink {
   void AdvanceLocked();
   double NextSegmentBoundaryAfter(double t_s) const;
   double MinHoldLocked() const;
+  // Share in effect at now_s_ (call after FoldGpuLedgerLocked).
+  double GpuShareLocked() const;
+  // Absorb ledger events at instants <= now_s_ into the base count.
+  void FoldGpuLedgerLocked();
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -117,6 +169,9 @@ class SharedLink {
   std::vector<Completion> completions_;
   FlowId next_flow_ = 1;
   HoldId next_hold_ = 1;
+  size_t gpu_slots_ = 0;              // 0 = uncapped
+  int gpu_base_inflight_ = 0;         // in-flight count settled through now_s_
+  std::map<double, int> gpu_events_;  // future ledger deltas, instant -> net
 };
 
 // Adapter presenting one SharedLink flow through the Link interface, so the

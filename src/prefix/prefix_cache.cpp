@@ -184,13 +184,10 @@ void PrefixCache::PutBatch(const std::string& context_id,
     }
     per_chunk[view.first.chunk_index].push_back(&view);
   }
-  for (size_t j = 0; j < per_chunk.size(); ++j) {
-    if (per_chunk[j].empty()) {
-      throw std::invalid_argument(
-          "PrefixCache::PutBatch: announced context stored without chunk " +
-          std::to_string(j) + " — the full grid is required");
-    }
-  }
+  // The full grid is required, EXCEPT that a chunk whose content address is
+  // already fully present (a dedup-covered chunk Engine::StoreKV skipped
+  // after a PreStoreCoverage probe) may be omitted: the registration simply
+  // references the existing entry.
 
   // Dedup and persist chunk by chunk. Entries created here stay at refs == 0
   // until the registration step; on failure they are reclaimed so a thrown
@@ -202,6 +199,28 @@ void PrefixCache::PutBatch(const std::string& context_id,
   try {
     for (size_t j = 0; j < ranges.size(); ++j) {
       const std::string cas = ContentAddressFor(spec, j, ranges[j]);
+      if (per_chunk[j].empty()) {
+        const auto cov = chunks_.find(cas);
+        const bool covered =
+            cov != chunks_.end() && !cov->second.levels.empty() &&
+            (cov->second.pins > 0 || inner_->kv().ContainsContext(cas));
+        if (!covered) {
+          throw std::invalid_argument(
+              "PrefixCache::PutBatch: announced context stored without "
+              "chunk " +
+              std::to_string(j) +
+              " — the full grid is required unless the chunk is "
+              "dedup-covered");
+        }
+        deduped_bytes_ += cov->second.bytes;
+        ++deduped_chunks_;
+        CG_METRIC_COUNT("prefix.deduped_chunks", 1);
+        CG_TRACE_INSTANT("prefix", "dedup", "bytes",
+                         static_cast<double>(cov->second.bytes));
+        logical_bytes += cov->second.bytes;
+        cas_ids.push_back(cas);
+        continue;
+      }
       const auto [cit, inserted] = chunks_.try_emplace(cas);
       if (inserted) fresh.push_back(cas);
       ChunkEntry& ce = cit->second;
@@ -298,6 +317,48 @@ void PrefixCache::PutBatch(const std::string& context_id,
   EnforceCapacityLocked(&context_id);
 }
 
+std::vector<bool> PrefixCache::PreStoreCoverage(
+    const std::string& context_id, size_t num_chunks,
+    std::span<const int32_t> level_ids) const {
+  std::vector<bool> covered(num_chunks, false);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Spec source mirrors PutBatch: a live announcement, else an existing
+  // registration (the re-store path). Anything else is pass-through — no
+  // content addresses, nothing coverable.
+  ContextSpec spec;
+  const auto ait = announced_.find(context_id);
+  if (ait != announced_.end()) {
+    spec = ait->second.spec;
+  } else {
+    const auto rit = contexts_.find(context_id);
+    if (rit == contexts_.end()) return covered;
+    spec = rit->second.spec;
+  }
+  const auto ranges = SplitIntoChunks(spec.num_tokens, opts_.chunk_tokens);
+  if (ranges.size() != num_chunks) return covered;  // grid mismatch: no skip
+  for (size_t j = 0; j < num_chunks; ++j) {
+    const auto it = chunks_.find(ContentAddressFor(spec, j, ranges[j]));
+    if (it == chunks_.end() || it->second.levels.empty()) continue;
+    bool all_levels = true;
+    for (const int32_t lv : level_ids) {
+      if (std::find(it->second.levels.begin(), it->second.levels.end(), lv) ==
+          it->second.levels.end()) {
+        all_levels = false;
+        break;
+      }
+    }
+    // pins > 0 implies inner-pinned (unevictable); otherwise confirm the
+    // inner tier still holds the bytes — a tiered inner's cold-capacity
+    // eviction can lose them behind our back, and a skipped encode against
+    // a lost chunk would register a context with no bytes.
+    if (all_levels && (it->second.pins > 0 ||
+                       inner_->kv().ContainsContext(it->first))) {
+      covered[j] = true;
+    }
+  }
+  return covered;
+}
+
 std::optional<std::vector<uint8_t>> PrefixCache::Get(const ChunkKey& key) const {
   ChunkKey target = key;
   {
@@ -348,108 +409,146 @@ uint64_t PrefixCache::ContextBytes(const std::string& context_id) const {
 
 // --- CacheTier interface -----------------------------------------------------
 
-size_t PrefixCache::PinCoveredChunksLocked(
-    const std::vector<std::string>& cas_ids,
-    const std::vector<ChunkRange>& ranges, double t_s,
-    std::vector<std::string>* pinned, size_t* covered_tokens, bool* any_cold) {
-  size_t covered = 0;
-  for (size_t j = 0; j < cas_ids.size(); ++j) {
-    const auto cit = chunks_.find(cas_ids[j]);
-    if (cit == chunks_.end()) break;
-    // The inner lookup pins (and, behind a tiered inner, may promote) the
-    // cas entry; a kMiss means the inner tier genuinely lost the bytes
-    // (e.g. cold-capacity eviction) and coverage ends here.
-    const TierLookup r = inner_->LookupAndPin(cas_ids[j], ContextSpec{}, t_s);
-    if (!r.pinned) {
-      // Unpinned entries the inner tier no longer holds are stale (lost to
-      // a tiered inner's cold eviction): reset their byte/level state now so
-      // accounting is honest and the next write-back re-stores them.
-      if (cit->second.pins == 0) InvalidateLostChunkLocked(cas_ids[j]);
-      break;
-    }
-    ++cit->second.pins;
-    pinned->push_back(cas_ids[j]);
-    *any_cold = *any_cold || r.tier == KVTier::kCold;
-    *covered_tokens += ranges[j].size();
-    ++covered;
-  }
-  return covered;
-}
-
 TierLookup PrefixCache::LookupAndPin(const std::string& context_id,
                                      const ContextSpec& spec, double t_s) {
   // Covers both the registered-context fast path and the radix
   // longest-prefix walk over the unregistered path.
+  //
+  // The per-chunk inner lookups (which, behind a tiered inner, may promote a
+  // cold chunk — real I/O) deliberately run OUTSIDE mu_ so a cold-promoted
+  // covered chunk no longer serializes every concurrent prefix-layer
+  // operation behind its promotion. Three phases:
+  //   1. (mu_ held)  resolve the candidate chunk run and PRE-PIN each entry —
+  //      the pre-pin makes a concurrent eviction defer erasure (the zombie
+  //      rule), so the cas entries and their bytes survive the unlocked gap;
+  //   2. (unlocked)  per-chunk inner LookupAndPin, coverage ends at the first
+  //      chunk whose bytes the inner tier genuinely lost;
+  //   3. (mu_ held)  reconcile: pre-pins past the covered run are backed out
+  //      (reclaiming any chunk that went zombie under us, invalidating the
+  //      stale entry the inner tier lost), the covered run's pre-pins become
+  //      the lookup's real pins, and the outcome is classified against the
+  //      post-gap context state.
   CG_TRACE_SPAN("prefix", "radix_lookup");
-  std::lock_guard<std::mutex> lock(mu_);
   TierLookup out;
-  const auto it = contexts_.find(context_id);
-  if (it != contexts_.end()) {
-    ContextEntry& entry = it->second;
-    out.total_chunks = entry.cas_ids.size();
-    PinRecord rec;
-    out.covered_chunks = PinCoveredChunksLocked(
-        entry.cas_ids, entry.ranges, t_s, &rec.cas_ids, &out.covered_tokens,
-        &out.any_cold);
-    if (out.covered_chunks == out.total_chunks) {
-      out.tier = out.any_cold ? KVTier::kCold : KVTier::kHot;
-      entry.last_touch_s = std::max(entry.last_touch_s, t_s);
-      ++entry.pins;
-      rec.context_pin = true;
+  std::unique_lock<std::mutex> lock(mu_);
+
+  bool registered = contexts_.count(context_id) > 0;
+  if (!registered) {
+    // Unregistered id. It may still exist as an opaque pass-through context
+    // in the inner tier (direct users); that probe can also be cold I/O, so
+    // it too runs unlocked.
+    lock.unlock();
+    const TierLookup raw = inner_->LookupAndPin(context_id, spec, t_s);
+    lock.lock();
+    if (raw.pinned) {
+      PinRecord rec;
+      rec.raw = true;
+      pin_records_[context_id].push_back(std::move(rec));
       ++full_hits_;
       CG_METRIC_COUNT("prefix.full_hits", 1);
-    } else if (out.covered_chunks > 0) {
-      // The inner tier lost a tail chunk: serve what survives as a partial
-      // prefix (the serving layer text-recomputes the rest).
-      ++prefix_hits_;
-      covered_tokens_total_ += out.covered_tokens;
-      CG_METRIC_COUNT("prefix.partial_hits", 1);
-    } else {
-      ++misses_;
-      CG_METRIC_COUNT("prefix.misses", 1);
-      return out;  // nothing pinned, no record
+      return raw;
     }
-    out.pinned = true;
-    pin_records_[context_id].push_back(std::move(rec));
-    return out;
+    // A concurrent write-back may have registered the id during the probe.
+    registered = contexts_.count(context_id) > 0;
   }
 
-  // Unregistered id. It may still exist as an opaque pass-through context in
-  // the inner tier (direct users), or share a prefix with a registered one.
-  const TierLookup raw = inner_->LookupAndPin(context_id, spec, t_s);
-  if (raw.pinned) {
-    PinRecord rec;
-    rec.raw = true;
-    pin_records_[context_id].push_back(std::move(rec));
-    ++full_hits_;
-    CG_METRIC_COUNT("prefix.full_hits", 1);
-    return raw;
-  }
-
-  const std::vector<uint32_t> tokens = ContextTokenIds(spec);
-  const size_t match_tokens = index_.LongestPrefixTokens(tokens);
-  const auto ranges = SplitIntoChunks(spec.num_tokens, opts_.chunk_tokens);
-  out.total_chunks = ranges.size();
-  // Longest cached CHUNK-ALIGNED prefix: a match ending mid-chunk cannot be
-  // served (bitstreams are chunk-granular), so it floors to the boundary.
+  // Phase 1: candidate run + pre-pins.
   std::vector<std::string> candidates;
   std::vector<ChunkRange> cand_ranges;
-  for (size_t j = 0; j < ranges.size() && ranges[j].end <= match_tokens; ++j) {
-    candidates.push_back(ContentAddressFor(spec, j, ranges[j]));
-    cand_ranges.push_back(ranges[j]);
+  if (registered) {
+    const ContextEntry& entry = contexts_.at(context_id);
+    out.total_chunks = entry.cas_ids.size();
+    candidates = entry.cas_ids;
+    cand_ranges = entry.ranges;
+  } else {
+    const std::vector<uint32_t> tokens = ContextTokenIds(spec);
+    const size_t match_tokens = index_.LongestPrefixTokens(tokens);
+    const auto ranges = SplitIntoChunks(spec.num_tokens, opts_.chunk_tokens);
+    out.total_chunks = ranges.size();
+    // Longest cached CHUNK-ALIGNED prefix: a match ending mid-chunk cannot
+    // be served (bitstreams are chunk-granular), so it floors to the
+    // boundary.
+    for (size_t j = 0; j < ranges.size() && ranges[j].end <= match_tokens;
+         ++j) {
+      candidates.push_back(ContentAddressFor(spec, j, ranges[j]));
+      cand_ranges.push_back(ranges[j]);
+    }
   }
+  size_t prepinned = 0;
+  for (; prepinned < candidates.size(); ++prepinned) {
+    const auto cit = chunks_.find(candidates[prepinned]);
+    if (cit == chunks_.end()) break;
+    ++cit->second.pins;
+  }
+
+  // Phase 2: inner lookups (pin + possible cold promotion) without mu_.
   PinRecord rec;
-  out.covered_chunks = PinCoveredChunksLocked(
-      candidates, cand_ranges, t_s, &rec.cas_ids, &out.covered_tokens,
-      &out.any_cold);
-  if (out.covered_chunks == 0) {
+  size_t covered = 0;
+  bool lost_at_break = false;
+  if (prepinned > 0) {
+    lock.unlock();
+    for (; covered < prepinned; ++covered) {
+      const TierLookup r =
+          inner_->LookupAndPin(candidates[covered], ContextSpec{}, t_s);
+      if (!r.pinned) {
+        // The inner tier genuinely lost the bytes (e.g. cold-capacity
+        // eviction): coverage ends here.
+        lost_at_break = true;
+        break;
+      }
+      rec.cas_ids.push_back(candidates[covered]);
+      out.any_cold = out.any_cold || r.tier == KVTier::kCold;
+      out.covered_tokens += cand_ranges[covered].size();
+    }
+    lock.lock();
+  }
+  out.covered_chunks = covered;
+
+  // Phase 3a: back out pre-pins that carry no inner pin.
+  for (size_t j = covered; j < prepinned; ++j) {
+    const auto cit = chunks_.find(candidates[j]);
+    if (cit == chunks_.end()) continue;
+    if (cit->second.pins > 0) --cit->second.pins;
+    if (cit->second.refs == 0 && cit->second.pins == 0) {
+      // Its last owner was evicted while we were unlocked: the deferred
+      // erasure lands on us.
+      CG_METRIC_COUNT("prefix.zombie_reclaims", 1);
+      CG_TRACE_INSTANT("prefix", "zombie_reclaim", "bytes",
+                       static_cast<double>(cit->second.bytes));
+      EraseChunkLocked(candidates[j]);
+    } else if (j == covered && lost_at_break && cit->second.pins == 0) {
+      // Unpinned entries the inner tier no longer holds are stale (lost to
+      // a tiered inner's cold eviction): reset their byte/level state now so
+      // accounting is honest and the next write-back re-stores them.
+      InvalidateLostChunkLocked(candidates[j]);
+    }
+  }
+
+  // Phase 3b: classify. The context entry is re-resolved — an unpinned
+  // registration can be evicted during the unlocked gap; its chunks are kept
+  // alive by our pre-pins, so the covered run degrades to a partial-prefix
+  // hit (a context-level miss: the serving layer re-writes it back, and
+  // dedup makes that re-store nearly free).
+  const auto it = registered ? contexts_.find(context_id) : contexts_.end();
+  if (it != contexts_.end() && covered == out.total_chunks && covered > 0) {
+    out.tier = out.any_cold ? KVTier::kCold : KVTier::kHot;
+    it->second.last_touch_s = std::max(it->second.last_touch_s, t_s);
+    ++it->second.pins;
+    rec.context_pin = true;
+    ++full_hits_;
+    CG_METRIC_COUNT("prefix.full_hits", 1);
+  } else if (covered > 0) {
+    // The inner tier lost a tail chunk (or the registration vanished): serve
+    // what survives as a partial prefix (the serving layer text-recomputes
+    // the rest).
+    ++prefix_hits_;
+    covered_tokens_total_ += out.covered_tokens;
+    CG_METRIC_COUNT("prefix.partial_hits", 1);
+  } else {
     ++misses_;
     CG_METRIC_COUNT("prefix.misses", 1);
-    return out;
+    return out;  // nothing pinned, no record
   }
-  ++prefix_hits_;
-  covered_tokens_total_ += out.covered_tokens;
-  CG_METRIC_COUNT("prefix.partial_hits", 1);
   out.pinned = true;
   pin_records_[context_id].push_back(std::move(rec));
   return out;

@@ -43,15 +43,16 @@
 // Contexts stored without a BeginStore announcement (direct Engine users)
 // pass through untranslated and behave exactly as the inner tier would.
 //
-// Concurrency: one mutex guards the whole layer (lock order: prefix mu_ ->
-// inner tier locks; the inner tier never calls back). Chunk READS (Get)
-// resolve the translation under the lock and read the inner tier outside
-// it, but LookupAndPin deliberately holds mu_ across the per-chunk inner
-// lookups — over a tiered inner, a cold-promoted covered chunk therefore
-// serializes concurrent prefix-layer operations behind its promotion I/O.
-// Deterministic and correct; a finer-grained pin-outside-the-lock scheme
-// (with its zombie/backout reconciliation) is a known scalability follow-up
-// (see ROADMAP).
+// Concurrency: one mutex guards the layer's metadata (lock order: prefix
+// mu_ -> inner tier locks; the inner tier never calls back), but no inner
+// I/O runs under it. Chunk READS (Get) resolve the translation under the
+// lock and read the inner tier outside it, and LookupAndPin resolves its
+// candidate chunk run and PRE-PINS it under mu_, then performs the
+// per-chunk inner lookups (cold promotion I/O) unlocked, then re-locks to
+// reconcile — backing out pre-pins past the covered run, completing any
+// deferred zombie erasure that landed on it, and classifying the outcome
+// against the post-gap context state. A cold promotion therefore stalls
+// only its own request, never the layer.
 #pragma once
 
 #include <cstdint>
@@ -119,6 +120,14 @@ class PrefixCache final : public KVStore, public CacheTier {
   // Otherwise the batch passes through untranslated.
   void PutBatch(const std::string& context_id,
                 std::span<const ChunkView> chunks) override;
+  // True per chunk whose content address already holds every requested
+  // level (and whose bytes the inner tier still has): Engine::StoreKV skips
+  // prefill+encode for those, and PutBatch above accepts their omission.
+  // Answers only for announced/registered ids — anything else has no
+  // addressable spec and reports nothing covered.
+  std::vector<bool> PreStoreCoverage(
+      const std::string& context_id, size_t num_chunks,
+      std::span<const int32_t> level_ids) const override;
   std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const override;
   bool ContainsContext(const std::string& context_id) const override;
   // Refused (like the inner tiers) while the context is pinned.
@@ -189,11 +198,6 @@ class PrefixCache final : public KVStore, public CacheTier {
   void DeregisterContextLocked(const std::string& context_id,
                                ContextEntry& entry);
   void EnforceCapacityLocked(const std::string* keep);
-  // Pin one covered chunk run starting at chunk 0; returns pinned cas ids.
-  size_t PinCoveredChunksLocked(const std::vector<std::string>& cas_ids,
-                                const std::vector<ChunkRange>& ranges,
-                                double t_s, std::vector<std::string>* pinned,
-                                size_t* covered_tokens, bool* any_cold);
 
   std::shared_ptr<CacheTier> inner_;
   Options opts_;

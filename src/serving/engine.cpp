@@ -5,6 +5,7 @@
 
 #include "baselines/quant_baseline.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace cachegen {
 
@@ -73,9 +74,21 @@ const LayeredEncoder& Engine::LayeredFor(int level) const {
 }
 
 ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ctx) {
-  const KVCache cache = CalculateKV(ctx);
   const auto ranges = SplitIntoChunks(ctx.num_tokens, opts_.chunk_tokens);
   const auto& levels = DefaultEncodingLevels();
+
+  // Dedup-aware encode skip: ask the store which chunks' bitstreams already
+  // exist under content addressing (prefix-aware stores only; plain stores
+  // report none). Covered chunks are neither prefilled nor encoded — the
+  // whole point of a shared prefix is that its suffix sibling pays only for
+  // the suffix — and PutBatch tolerates their omission from the grid.
+  std::vector<int32_t> level_ids;
+  level_ids.reserve(levels.size());
+  for (const auto& lv : levels) level_ids.push_back(lv.id);
+  const std::vector<bool> covered =
+      store_->PreStoreCoverage(context_id, ranges.size(), level_ids);
+  const size_t covered_count = static_cast<size_t>(
+      std::count(covered.begin(), covered.end(), true));
 
   ContextPlan plan;
   plan.total_tokens = ctx.num_tokens;
@@ -94,14 +107,40 @@ ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ct
   // in memory until the batch lands — it buys atomicity exactly on the
   // concurrent sharded/tiered stores the cluster serves from; plain
   // Memory/File stores just run the base class's Put loop.
+  // The full-context prefill is computed only when every chunk needs it; a
+  // partially covered context prefills just its uncovered ranges (bit-exact
+  // per chunk, see AssembleKV), and a fully covered one touches no GPU at
+  // all — the store call degenerates to a registration.
+  std::optional<KVCache> cache;
+  if (covered_count == 0) cache = CalculateKV(ctx);
+
+  const CodecCalibration& calib = calibration();
+  uint64_t skipped_bytes = 0;
   std::vector<std::pair<ChunkKey, std::vector<uint8_t>>> encoded;
-  encoded.reserve(ranges.size() * levels.size());
+  encoded.reserve((ranges.size() - covered_count) * levels.size());
   for (size_t i = 0; i < ranges.size(); ++i) {
-    const KVCache chunk_kv = cache.SliceTokens(ranges[i].begin, ranges[i].end);
     ChunkPlan cp;
     cp.range = ranges[i];
     cp.bytes_per_level.resize(levels.size());
     if (layered) cp.enh_bytes_per_level.resize(levels.size());
+    if (covered[i]) {
+      // Skipped encode: the plan prices this chunk from calibration (the
+      // stored bytes exist but were never rematerialized here).
+      const double tokens = static_cast<double>(ranges[i].size());
+      for (size_t lv = 0; lv < levels.size(); ++lv) {
+        cp.bytes_per_level[lv] = calib.bytes_per_token_per_level[lv] * tokens;
+        if (layered) {
+          cp.enh_bytes_per_level[lv] =
+              calib.enh_bytes_per_token_per_level[lv] * tokens;
+        }
+        skipped_bytes += static_cast<uint64_t>(cp.bytes_per_level[lv]);
+      }
+      plan.chunks.push_back(std::move(cp));
+      continue;
+    }
+    const KVCache chunk_kv =
+        cache ? cache->SliceTokens(ranges[i].begin, ranges[i].end)
+              : llm_->PrefillRange(ctx, ranges[i].begin, ranges[i].end);
     for (size_t lv = 0; lv < levels.size(); ++lv) {
       const EncodedChunk enc = encoders_[lv]->EncodeChunk(
           chunk_kv, static_cast<uint32_t>(i), ranges[i].begin);
@@ -117,6 +156,10 @@ ContextPlan Engine::StoreKV(const std::string& context_id, const ContextSpec& ct
       }
     }
     plan.chunks.push_back(std::move(cp));
+  }
+  if (covered_count > 0) {
+    CG_METRIC_COUNT("engine.encode.skipped_chunks", covered_count);
+    CG_METRIC_COUNT("engine.encode.skipped_bytes", skipped_bytes);
   }
   PutEncodedBatch(*store_, context_id, encoded);
   return plan;

@@ -132,6 +132,12 @@ std::optional<std::string> RecoverContextId(const std::string& sanitized) {
   return ReverseMap().Find(sanitized);
 }
 
+std::vector<bool> KVStore::PreStoreCoverage(
+    const std::string& /*context_id*/, size_t num_chunks,
+    std::span<const int32_t> /*level_ids*/) const {
+  return std::vector<bool>(num_chunks, false);
+}
+
 void KVStore::PutBatch(const std::string& context_id,
                        std::span<const ChunkView> chunks) {
   for (const auto& [key, bytes] : chunks) {

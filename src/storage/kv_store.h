@@ -73,6 +73,17 @@ class KVStore {
   virtual void PutBatch(const std::string& context_id,
                         std::span<const ChunkView> chunks);
 
+  // Per-chunk dedup coverage of a context about to be stored: out[j] is true
+  // when chunk j's encoded bytes — at EVERY level in `level_ids` — are
+  // already present under content addressing, so Engine::StoreKV can skip
+  // prefilling and encoding that chunk entirely and PutBatch will tolerate
+  // its omission from the grid. Plain stores know no content addressing and
+  // report nothing covered; only the prefix-aware layer overrides this (and
+  // only for contexts it can address, i.e. announced or registered ones).
+  virtual std::vector<bool> PreStoreCoverage(
+      const std::string& context_id, size_t num_chunks,
+      std::span<const int32_t> level_ids) const;
+
   virtual std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const = 0;
   virtual bool ContainsContext(const std::string& context_id) const = 0;
   virtual void EraseContext(const std::string& context_id) = 0;
