@@ -1,0 +1,316 @@
+// Distributed cache fabric vs a single node at EQUAL total capacity: the
+// scenario ladder (local hit < remote hit < miss on TTFT), cross-node chunk
+// dedup through the global directory, CRT replica striping of hot chunks,
+// and bit-identical replay of the whole multi-node arrangement.
+//
+// Three modes, all through CacheFabric so the serving path is identical:
+//   ladder  — 4 nodes, prefix OFF: contexts store whole on their home node,
+//             so hit classification is purely topological (front vs home).
+//             Repeated contexts split into local hits (front == home) and
+//             remote hits (front != home, priced through the interconnect
+//             model); fresh contexts are the miss baseline. This is where
+//             the TTFT ladder is asserted.
+//   single  — 1-node fabric, prefix ON: the degenerate fabric every hit is
+//             local on — the equal-total-capacity comparison anchor.
+//   fabric  — 4 nodes, prefix ON, chunk_replicas=2: content-addressed
+//             chunks striped over the ring, peer fetch across nodes, CRT
+//             reader schedules spreading hot-chunk load (the
+//             max-read-share gate). Run twice to assert bitwise replay.
+//
+// Emits BENCH_cache_fabric.json (shared JsonWriter shape: rows keyed by
+// "level" = mode) for the CI trajectory gate (check_bench_regression.py on
+// goodput_tokens_per_s).
+//
+// Flags:
+//   --quick       small trace + loud assertions (the CI gate).
+//   --out PATH    JSON output path.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/cluster_server.h"
+#include "fabric/cache_fabric.h"
+#include "obs/json_writer.h"
+#include "prefix/prefix_cache.h"
+#include "workload/prefix_trace.h"
+
+namespace cachegen {
+namespace {
+
+struct Row {
+  std::string mode;  // the regression gate's "level" key
+  ClusterSummary summary;
+  CacheFabric::Stats fabric;
+  size_t local_hits = 0, remote_hits = 0, misses = 0;
+};
+
+std::shared_ptr<CacheFabric> MakeFabric(size_t nodes, bool prefix,
+                                        size_t chunk_tokens) {
+  CacheFabric::Options f;
+  f.num_nodes = nodes;
+  f.chunk_replicas = 2;
+  f.prefix = prefix;
+  f.node_store = ShardedKVStore::Options{.num_shards = 2, .capacity_bytes = 0};
+  f.prefix_opts.chunk_tokens = chunk_tokens;
+  return std::make_shared<CacheFabric>(f);
+}
+
+// First id of the form stem<i> whose front/home relation matches `remote`.
+std::string FindId(const CacheFabric& fab, const std::string& stem,
+                   bool remote) {
+  for (int i = 0;; ++i) {
+    std::string id = stem + std::to_string(i);
+    if ((fab.FrontNode(id) != fab.HomeNode(id)) == remote) return id;
+  }
+}
+
+Row RunLadder(bool quick, const Engine::Options& eopts) {
+  auto fab = MakeFabric(4, /*prefix=*/false, eopts.chunk_tokens);
+  Engine engine(eopts, fab);
+  ClusterServer::Options copts;
+  copts.num_workers = 4;
+  // Tight SLO: the adapter must stream hits as compact encoded KV while a
+  // miss still pays full text + re-prefill — the regime where the
+  // interconnect surcharge sits cleanly between the two.
+  copts.default_slo_s = 0.45;
+  copts.remote_read_gbps = 1.5;  // below the 2 Gbps link: remote visibly slower
+  copts.remote_rtt_s = 0.02;
+  ClusterServer server(engine, std::static_pointer_cast<CacheTier>(fab),
+                       BandwidthTrace::Constant(2.0), copts);
+
+  // K contexts requested twice each (second pass hits, local or remote by
+  // topology) plus fresh misses, all the same length so TTFTs compare.
+  const size_t pairs = quick ? 3 : 6;
+  ContextSpec spec;
+  spec.num_tokens = 4500;
+  std::vector<ClusterRequest> trace;
+  double at = 0.0;
+  const auto push = [&](const std::string& id, uint64_t seed) {
+    ClusterRequest rq;
+    rq.id = trace.size();
+    rq.arrival_s = at;
+    at += 3.0;  // spaced: queueing never muddies the ladder
+    rq.context_id = id;
+    rq.spec = spec;
+    rq.spec.seed = seed;
+    rq.slo_s = 0.45;
+    trace.push_back(std::move(rq));
+  };
+  std::vector<std::string> ids;
+  for (size_t p = 0; p < pairs; ++p) {
+    ids.push_back(FindId(*fab, "loc-" + std::to_string(p) + "-", false));
+    ids.push_back(FindId(*fab, "rem-" + std::to_string(p) + "-", true));
+  }
+  for (size_t i = 0; i < ids.size(); ++i) push(ids[i], i + 1);  // all miss
+  for (size_t i = 0; i < ids.size(); ++i) push(ids[i], i + 1);  // all hit
+  for (size_t p = 0; p < pairs; ++p) push("fresh-" + std::to_string(p), 100 + p);
+
+  Row row;
+  row.mode = "ladder";
+  const auto outcomes = server.Serve(std::move(trace));
+  row.summary = Summarize(outcomes, &server.tier());
+  for (const RequestOutcome& o : outcomes) {
+    if (o.cache_hit && o.remote_hit) ++row.remote_hits;
+    if (o.cache_hit && !o.remote_hit) ++row.local_hits;
+    if (o.forced_text) ++row.misses;
+  }
+  row.fabric = fab->stats();
+  return row;
+}
+
+Row RunPrefixMode(size_t nodes, const char* mode, bool quick,
+                  const Engine::Options& eopts) {
+  auto fab = MakeFabric(nodes, /*prefix=*/true, eopts.chunk_tokens);
+  Engine engine(eopts, fab);
+  ClusterServer::Options copts;
+  copts.num_workers = 4;
+  copts.default_slo_s = 2.0;
+  ClusterServer server(engine, std::static_pointer_cast<CacheTier>(fab),
+                       BandwidthTrace::Constant(3.0), copts);
+
+  PrefixTraceOptions topts;
+  topts.num_requests = quick ? 18 : 36;
+  topts.arrival_rate_hz = 2.0;
+  topts.num_families = 2;
+  topts.family_zipf = 0.9;
+  topts.prefix_tokens = 3000;
+  topts.suffix_min_tokens = 1500;
+  topts.suffix_max_tokens = 1500;
+  topts.suffixes_per_family = 3;
+  topts.shared_fraction = 0.6;
+  topts.slo_s = 2.0;
+  topts.seed = 0x9EF2;
+
+  Row row;
+  row.mode = mode;
+  const auto outcomes = server.Serve(SharedPrefixTrace(topts));
+  row.summary = Summarize(outcomes, &server.tier());
+  for (const RequestOutcome& o : outcomes) {
+    if (o.cache_hit && o.remote_hit) ++row.remote_hits;
+    if (o.cache_hit && !o.remote_hit) ++row.local_hits;
+    if (o.forced_text) ++row.misses;
+  }
+  row.fabric = fab->stats();
+  return row;
+}
+
+void RowToJson(const Row& r, obs::JsonWriter& w) {
+  const ClusterSummary& s = r.summary;
+  w.BeginObject();
+  w.Field("level", r.mode);  // check_bench_regression keys rows on this
+  w.Field("mean_ttft_s", s.mean_ttft_s, 3);
+  w.Field("p95_ttft_s", s.p95_ttft_s, 3);
+  w.Field("goodput_tokens_per_s", s.goodput_tokens_per_s, 1);
+  w.Field("slo_violation_rate", s.slo_violation_rate, 4);
+  w.Field("cache_hit_rate", s.cache_hit_rate, 4);
+  w.Field("local_hit_rate", s.local_hit_rate, 4);
+  w.Field("remote_hit_rate", s.remote_hit_rate, 4);
+  w.Field("prefix_hit_rate", s.prefix_hit_rate, 4);
+  w.Field("mean_local_ttft_s", s.mean_local_ttft_s, 3);
+  w.Field("mean_remote_ttft_s", s.mean_remote_ttft_s, 3);
+  w.Field("mean_miss_ttft_s", s.mean_miss_ttft_s, 3);
+  w.Field("chunk_reads", r.fabric.chunk_reads);
+  w.Field("remote_chunk_fetches", r.fabric.remote_chunk_fetches);
+  w.Field("remote_chunk_bytes", r.fabric.remote_chunk_bytes);
+  w.Field("xnode_dedup_chunks", r.fabric.xnode_dedup_chunks);
+  w.Field("max_read_share", r.fabric.max_read_share(), 4);
+  w.EndObject();
+}
+
+}  // namespace
+}  // namespace cachegen
+
+int main(int argc, char** argv) {
+  using namespace cachegen;
+
+  bool quick = false;
+  std::string out_path = "BENCH_cache_fabric.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  bench::PrintHeader(
+      "Distributed cache fabric: consistent-hash sharding + peer chunk fetch",
+      quick ? "quick trace (CI gate)" : "full trace");
+
+  const Engine::Options eopts = bench::FastEngineOptions("mistral-7b");
+
+  std::vector<Row> rows;
+  rows.push_back(RunLadder(quick, eopts));
+  rows.push_back(RunPrefixMode(1, "single", quick, eopts));
+  rows.push_back(RunPrefixMode(4, "fabric", quick, eopts));
+  // Bit-identical replay: a second, fresh 4-node fabric over the same trace.
+  const Row replay = RunPrefixMode(4, "fabric", quick, eopts);
+
+  // ---- human-readable summary -------------------------------------------
+  TablePrinter table({"mode", "loc/rem/miss %", "SLO-viol %", "local TTFT",
+                      "remote TTFT", "miss TTFT", "goodput tok/s",
+                      "remote fetches", "max read share"});
+  for (const Row& r : rows) {
+    const ClusterSummary& s = r.summary;
+    table.AddRow(
+        {r.mode,
+         TablePrinter::Fmt(100.0 * s.local_hit_rate, 0) + "/" +
+             TablePrinter::Fmt(100.0 * s.remote_hit_rate, 0) + "/" +
+             TablePrinter::Fmt(100.0 * s.miss_rate, 0),
+         TablePrinter::Fmt(100.0 * s.slo_violation_rate, 0),
+         r.local_hits ? TablePrinter::Fmt(s.mean_local_ttft_s, 3) : "-",
+         r.remote_hits ? TablePrinter::Fmt(s.mean_remote_ttft_s, 3) : "-",
+         r.misses ? TablePrinter::Fmt(s.mean_miss_ttft_s, 3) : "-",
+         TablePrinter::Fmt(s.goodput_tokens_per_s, 0),
+         TablePrinter::Fmt(static_cast<double>(r.fabric.remote_chunk_fetches), 0),
+         TablePrinter::Fmt(r.fabric.max_read_share(), 2)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // ---- machine-readable JSON --------------------------------------------
+  {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", "cache_fabric");
+    w.Field("quick", quick);
+    w.BeginArray("results");
+    for (const Row& r : rows) RowToJson(r, w);
+    w.EndArray();
+    w.EndObject();
+    if (w.WriteFile(out_path)) {
+      std::printf("wrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not open %s for writing\n",
+                   out_path.c_str());
+    }
+  }
+
+  // ---- regression gate (quick mode) -------------------------------------
+  if (quick) {
+    bool ok = true;
+    const Row& ladder = rows[0];
+    if (ladder.local_hits == 0 || ladder.remote_hits == 0 ||
+        ladder.misses == 0) {
+      std::fprintf(stderr,
+                   "FAIL: ladder needs all three scenarios (local %zu, remote "
+                   "%zu, miss %zu)\n",
+                   ladder.local_hits, ladder.remote_hits, ladder.misses);
+      ok = false;
+    } else if (!(ladder.summary.mean_local_ttft_s <
+                     ladder.summary.mean_remote_ttft_s &&
+                 ladder.summary.mean_remote_ttft_s <
+                     ladder.summary.mean_miss_ttft_s)) {
+      std::fprintf(stderr,
+                   "FAIL: remote-hit TTFT %.3f s not strictly between local "
+                   "%.3f s and miss %.3f s\n",
+                   ladder.summary.mean_remote_ttft_s,
+                   ladder.summary.mean_local_ttft_s,
+                   ladder.summary.mean_miss_ttft_s);
+      ok = false;
+    }
+
+    const Row& fabric = rows[2];
+    if (fabric.fabric.remote_chunk_fetches == 0) {
+      std::fprintf(stderr, "FAIL: 4-node fabric made no peer chunk fetches\n");
+      ok = false;
+    }
+    if (fabric.fabric.xnode_dedup_chunks == 0) {
+      std::fprintf(stderr,
+                   "FAIL: no cross-node chunk dedup under a shared-prefix "
+                   "trace\n");
+      ok = false;
+    }
+    // Replica striping: no node serves more than half of all chunk reads
+    // (4 nodes x 2 replicas; without CRT schedules every reader of a hot
+    // chunk would converge on its primary).
+    if (fabric.fabric.max_read_share() > 0.5) {
+      std::fprintf(stderr,
+                   "FAIL: max per-node chunk-read share %.3f exceeds 0.5 — "
+                   "replica striping is not spreading hot-chunk load\n",
+                   fabric.fabric.max_read_share());
+      ok = false;
+    }
+    // Bitwise replay: placement, routing, replica choice, and virtual-time
+    // streaming are pure functions of (trace, options).
+    if (fabric.summary.mean_ttft_s != replay.summary.mean_ttft_s ||
+        fabric.summary.goodput_tokens_per_s !=
+            replay.summary.goodput_tokens_per_s ||
+        fabric.fabric.chunk_reads != replay.fabric.chunk_reads ||
+        fabric.fabric.remote_chunk_fetches !=
+            replay.fabric.remote_chunk_fetches) {
+      std::fprintf(stderr,
+                   "FAIL: fabric rerun not bit-identical (ttft %.17g vs "
+                   "%.17g, reads %llu vs %llu)\n",
+                   fabric.summary.mean_ttft_s, replay.summary.mean_ttft_s,
+                   static_cast<unsigned long long>(fabric.fabric.chunk_reads),
+                   static_cast<unsigned long long>(replay.fabric.chunk_reads));
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf(
+        "quick gate: OK (local < remote < miss TTFT ladder, peer fetch + "
+        "cross-node dedup observed, max read share <= 0.5, rerun "
+        "bit-identical)\n");
+  }
+  return 0;
+}

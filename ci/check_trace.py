@@ -17,7 +17,15 @@ Checks (all hard failures):
   * every pid-2 track that carries "cluster.event" FSM instants is a legal
     event sequence: exactly one "admit" and it comes first, exactly one
     "write_back_committed" and it comes last, at least one
-    "chunk_transfer_done" in between, timestamps non-decreasing.
+    "chunk_transfer_done" in between, timestamps non-decreasing;
+  * every pid-2 track flagged remote by the fabric (a (fabric, remote_hit)
+    instant) shows the serving layer actually pricing the interconnect: a
+    (fabric, remote_fetch) span that starts no earlier than queue_wait ends
+    and ends no later than kv_stream ends (equal timestamps allowed — the
+    fetch begins exactly at admission).
+
+Every failure is a single "FAIL: ..." line on stderr and exit code 1 — no
+tracebacks, whatever shape the input file is in.
 
 Usage: check_trace.py TRACE.json [--require-cat CAT ...]
 """
@@ -34,30 +42,20 @@ LIFECYCLE = {"queue_wait", "kv_stream", "chunk_gpu_decode", "write_back"}
 VIRTUAL_PID = 2
 
 
+class TraceError(Exception):
+    """A validation failure: message only, rendered as one FAIL line."""
+
+
 def fail(msg):
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    raise TraceError(msg)
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("trace")
-    ap.add_argument(
-        "--require-cat",
-        action="append",
-        default=None,
-        help="category that must appear at least once "
-        f"(default: {' '.join(DEFAULT_REQUIRED_CATS)}; repeatable, "
-        "replaces the default list)",
-    )
-    args = ap.parse_args()
-    required_cats = args.require_cat or DEFAULT_REQUIRED_CATS
-
+def check(trace_path, required_cats):
     try:
-        with open(args.trace) as f:
+        with open(trace_path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot load {args.trace}: {e}")
+        fail(f"cannot load {trace_path}: {e}")
 
     if not isinstance(doc, dict):
         fail("top level is not an object")
@@ -65,6 +63,8 @@ def main():
     if not isinstance(events, list) or not events:
         fail("traceEvents missing, not a list, or empty")
     other = doc.get("otherData", {})
+    if not isinstance(other, dict):
+        fail(f"otherData is not an object: {other!r}")
     version = other.get("traceSchemaVersion")
     if version != EXPECTED_SCHEMA_VERSION:
         fail(
@@ -77,6 +77,10 @@ def main():
     cats_seen = collections.Counter()
     virtual_names = collections.defaultdict(set)  # tid -> event names on pid 2
     fsm_events = collections.defaultdict(list)  # tid -> [(ts, name)] on pid 2
+    remote_tracks = set()  # pid-2 tids carrying a (fabric, remote_hit) marker
+    # tid -> {name: (start, end)} for the spans the fabric ordering check
+    # needs (queue_wait, kv_stream, remote_fetch) on pid 2.
+    fabric_spans = collections.defaultdict(dict)
 
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -117,6 +121,14 @@ def main():
             virtual_names[ev["tid"]].add(ev["name"])
             if ev.get("cat") == "cluster.event":
                 fsm_events[ev["tid"]].append((ts, ev["name"]))
+            if ev.get("cat") == "fabric" and ev["name"] == "remote_hit":
+                remote_tracks.add(ev["tid"])
+            if ph == "X" and ev["name"] in (
+                "queue_wait",
+                "kv_stream",
+                "remote_fetch",
+            ):
+                fabric_spans[ev["tid"]][ev["name"]] = (ts, ts + ev["dur"])
 
     unclosed = {t: s for t, s in open_spans.items() if s}
     if unclosed:
@@ -154,6 +166,33 @@ def main():
                     f"({a_name}@{a_ts} -> {b_name}@{b_ts})"
                 )
 
+    # Fabric contract: a remote-classified request must show the remote
+    # pricing span sitting between queueing and the KV stream on ITS track.
+    for tid in sorted(remote_tracks):
+        spans = fabric_spans.get(tid, {})
+        if "remote_fetch" not in spans:
+            fail(
+                f"pid-2 track {tid}: (fabric, remote_hit) marker but no "
+                f"fabric.remote_fetch span (spans: {sorted(spans)})"
+            )
+        if "queue_wait" not in spans or "kv_stream" not in spans:
+            fail(
+                f"pid-2 track {tid}: remote-hit track lacks queue_wait/"
+                f"kv_stream spans to order remote_fetch against "
+                f"(spans: {sorted(spans)})"
+            )
+        fetch_start, fetch_end = spans["remote_fetch"]
+        if fetch_start < spans["queue_wait"][1]:
+            fail(
+                f"pid-2 track {tid}: remote_fetch starts at {fetch_start} "
+                f"before queue_wait ends at {spans['queue_wait'][1]}"
+            )
+        if fetch_end > spans["kv_stream"][1]:
+            fail(
+                f"pid-2 track {tid}: remote_fetch ends at {fetch_end} after "
+                f"kv_stream ends at {spans['kv_stream'][1]}"
+            )
+
     lifecycle_tracks = [
         tid for tid, names in virtual_names.items() if LIFECYCLE <= names
     ]
@@ -168,9 +207,36 @@ def main():
         f"OK: {len(events)} events, categories {dict(cats_seen)}, "
         f"{len(lifecycle_tracks)} request track(s) with the full lifecycle, "
         f"{len(fsm_events)} track(s) with legal cluster.event sequences, "
-        f"droppedEvents={other.get('droppedEvents')}"
+        f"{len(remote_tracks)} remote-hit track(s) with ordered "
+        f"remote_fetch spans, droppedEvents={other.get('droppedEvents')}"
     )
 
 
+def main(argv=None):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument(
+        "--require-cat",
+        action="append",
+        default=None,
+        help="category that must appear at least once "
+        f"(default: {' '.join(DEFAULT_REQUIRED_CATS)}; repeatable, "
+        "replaces the default list)",
+    )
+    args = ap.parse_args(argv)
+    required_cats = args.require_cat or DEFAULT_REQUIRED_CATS
+
+    try:
+        check(args.trace, required_cats)
+    except TraceError as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    except Exception as e:  # malformed input must never traceback
+        print(f"FAIL: unexpected error validating {args.trace}: {e!r}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

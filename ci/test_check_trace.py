@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Pytest-free self-test for check_trace.py, invoked from CI.
+
+Covers the failure-mode contract (missing / empty / truncated / non-JSON
+trace files must produce a single FAIL line and exit 1, never a traceback),
+the category and lifecycle requirements, the cluster.event FSM checks, and
+the fabric remote_hit -> remote_fetch ordering contract. Runs with nothing
+but the standard library: `python3 ci/test_check_trace.py`.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_trace as gate  # noqa: E402
+
+
+def ev(name, cat, ph="X", pid=2, tid=7, ts=0, dur=None, **extra):
+    e = {"name": name, "cat": cat, "ph": ph, "pid": pid, "tid": tid, "ts": ts}
+    if dur is not None:
+        e["dur"] = dur
+    e.update(extra)
+    return e
+
+
+def lifecycle_track(tid=7, base=0, remote=False):
+    """One legal pid-2 request track; optionally remote-classified."""
+    events = [
+        ev("queue_wait", "cluster", ts=base, dur=100, tid=tid),
+        ev("admit", "cluster.event", ph="i", ts=base + 100, tid=tid),
+    ]
+    if remote:
+        events += [
+            ev("remote_hit", "fabric", ph="i", ts=base + 100, tid=tid),
+            ev("remote_fetch", "fabric", ts=base + 100, dur=50, tid=tid),
+        ]
+    events += [
+        ev("kv_stream", "cluster", ts=base + 100, dur=400, tid=tid),
+        ev("chunk_transfer_done", "cluster.event", ph="i", ts=base + 250,
+           tid=tid),
+        ev("chunk_gpu_decode", "streamer", ts=base + 300, dur=80, tid=tid),
+        ev("write_back", "storage", ts=base + 500, dur=60, tid=tid),
+        ev("write_back_committed", "cluster.event", ph="i", ts=base + 560,
+           tid=tid),
+    ]
+    return events
+
+
+def base_doc(extra_events=None, remote=False):
+    events = [
+        ev("encode", "codec", pid=1, tid=1, ts=0, dur=10),
+        ev("xfer", "net", pid=1, tid=1, ts=20, dur=10),
+        ev("gpu_load", "streamer", pid=1, tid=1, ts=30, dur=5),
+    ] + lifecycle_track(remote=remote) + (extra_events or [])
+    return {"otherData": {"traceSchemaVersion": 1, "droppedEvents": 0},
+            "traceEvents": events}
+
+
+def run(path, extra=None):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = gate.main([path] + (extra or []))
+    return code, out.getvalue(), err.getvalue()
+
+
+def one_line_fail(err):
+    lines = [ln for ln in err.strip().splitlines() if ln]
+    return len(lines) == 1 and lines[0].startswith("FAIL:")
+
+
+def main():
+    checks = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, content):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as f:
+                f.write(content if isinstance(content, str)
+                        else json.dumps(content))
+            return path
+
+        # 1. A well-formed trace passes with the default categories.
+        good = write("good.json", base_doc())
+        code, out, err = run(good)
+        assert code == 0, f"valid trace must exit 0, got {code}: {err}"
+        assert "OK:" in out, out
+        checks += 1
+
+        # 2. Missing / empty / truncated / non-JSON files: one FAIL line,
+        #    exit 1, no traceback.
+        truncated = json.dumps(base_doc())[:80]
+        for path in (
+            os.path.join(tmp, "nope.json"),
+            write("empty.json", ""),
+            write("trunc.json", truncated),
+            write("garbage.json", "<html>not a trace</html>"),
+        ):
+            code, _, err = run(path)
+            assert code == 1, f"{path}: must exit 1, got {code}"
+            assert one_line_fail(err), f"{path}: want one FAIL line, got {err!r}"
+            assert "Traceback" not in err, err
+        checks += 1
+
+        # 3. Structurally-surprising JSON (wrong top-level type, otherData a
+        #    list, event not an object) also fails with one line.
+        for name, doc in (
+            ("toplist.json", "[1, 2]"),
+            ("otherlist.json", '{"otherData": [], "traceEvents": [{}]}'),
+            ("badevent.json",
+             '{"otherData": {"traceSchemaVersion": 1}, "traceEvents": [5]}'),
+        ):
+            code, _, err = run(write(name, doc))
+            assert code == 1, f"{name}: must exit 1, got {code}"
+            assert one_line_fail(err), f"{name}: got {err!r}"
+        checks += 1
+
+        # 4. Wrong schema version fails.
+        doc = base_doc()
+        doc["otherData"]["traceSchemaVersion"] = 99
+        code, _, err = run(write("schema.json", doc))
+        assert code == 1 and "traceSchemaVersion" in err, (code, err)
+        checks += 1
+
+        # 5. Missing required category fails and names it; --require-cat
+        #    replaces the default list.
+        doc = base_doc()
+        doc["traceEvents"] = [e for e in doc["traceEvents"]
+                              if e.get("cat") != "net"]
+        nonet = write("nonet.json", doc)
+        code, _, err = run(nonet)
+        assert code == 1 and "'net'" in err, (code, err)
+        code, _, _ = run(nonet, ["--require-cat", "cluster",
+                                 "--require-cat", "codec"])
+        assert code == 0, "custom --require-cat list must pass without net"
+        checks += 1
+
+        # 6. The good trace does NOT require fabric by default, but does
+        #    when CI asks for it.
+        code, _, err = run(good, ["--require-cat", "cluster",
+                                  "--require-cat", "fabric"])
+        assert code == 1 and "'fabric'" in err, (code, err)
+        checks += 1
+
+        # 7. A remote-hit trace with a correctly ordered remote_fetch passes,
+        #    including with --require-cat fabric.
+        remote = write("remote.json", base_doc(remote=True))
+        code, out, err = run(remote, ["--require-cat", "fabric"])
+        assert code == 0, f"remote trace must pass, got {code}: {err}"
+        assert "1 remote-hit track(s)" in out, out
+        checks += 1
+
+        # 8. remote_hit marker without a remote_fetch span fails.
+        doc = base_doc(remote=True)
+        doc["traceEvents"] = [e for e in doc["traceEvents"]
+                              if e["name"] != "remote_fetch"]
+        code, _, err = run(write("nofetch.json", doc))
+        assert code == 1 and "remote_fetch" in err, (code, err)
+        checks += 1
+
+        # 9. remote_fetch starting before queue_wait ends fails. Stretch
+        #    queue_wait past the fetch start so export order stays monotonic.
+        doc = base_doc(remote=True)
+        for e in doc["traceEvents"]:
+            if e["name"] == "queue_wait":
+                e["dur"] = 150  # remote_fetch starts at 100
+        code, _, err = run(write("early.json", doc))
+        assert code == 1 and "before queue_wait ends" in err, (code, err)
+        checks += 1
+
+        # 10. remote_fetch ending after kv_stream ends fails.
+        doc = base_doc(remote=True)
+        for e in doc["traceEvents"]:
+            if e["name"] == "remote_fetch":
+                e["dur"] = 10_000  # kv_stream ends at 500
+        code, _, err = run(write("late.json", doc))
+        assert code == 1 and "after kv_stream ends" in err, (code, err)
+        checks += 1
+
+        # 11. Broken cluster.event FSM (no admit first) fails.
+        doc = base_doc()
+        doc["traceEvents"] = [e for e in doc["traceEvents"]
+                              if e["name"] != "admit"]
+        code, _, err = run(write("noadmit.json", doc))
+        assert code == 1 and "admit" in err, (code, err)
+        checks += 1
+
+        # 12. A trace with no full-lifecycle pid-2 track fails.
+        doc = base_doc()
+        doc["traceEvents"] = [e for e in doc["traceEvents"]
+                              if e["name"] not in ("chunk_gpu_decode",)]
+        code, _, err = run(write("nolife.json", doc))
+        assert code == 1 and "full lifecycle" in err, (code, err)
+        checks += 1
+
+    print(f"check_trace self-test: {checks} checks OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

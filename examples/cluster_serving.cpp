@@ -17,6 +17,11 @@
 //                         hits, cold promotions, partial-prefix hits (cached
 //                         prefix as KV + text suffix + write-back), and full
 //                         misses — the trace CI validates
+//   --fabric              serve the shared-prefix workload through a 4-node
+//                         CacheFabric (consistent-hash sharding, per-node
+//                         prefix layers over tiered stores, peer chunk
+//                         fetch): adds REMOTE hits priced through the
+//                         interconnect model — the fabric trace CI validates
 //   --trace PATH          enable the tracer and export a Chrome trace-event
 //                         JSON (load in https://ui.perfetto.dev); the
 //                         CACHEGEN_TRACE env var also enables recording
@@ -31,6 +36,7 @@
 #include <unistd.h>
 
 #include "cluster/cluster_server.h"
+#include "fabric/cache_fabric.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "prefix/prefix_cache.h"
@@ -40,22 +46,27 @@ using namespace cachegen;
 
 int main(int argc, char** argv) {
   bool prefix_mode = false;
+  bool fabric_mode = false;
   std::string trace_path;
   std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--prefix") == 0) {
       prefix_mode = true;
+    } else if (std::strcmp(argv[i], "--fabric") == 0) {
+      fabric_mode = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--prefix] [--trace PATH] [--metrics-json PATH]\n",
+                   "usage: %s [--prefix] [--fabric] [--trace PATH] "
+                   "[--metrics-json PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (fabric_mode) prefix_mode = true;  // the fabric serves the prefix workload
   if (!trace_path.empty()) obs::Tracer::Instance().SetEnabled(true);
 
   Engine::Options eopts;
@@ -68,31 +79,53 @@ int main(int argc, char** argv) {
       ("cachegen_example_cold_tier_" + std::to_string(::getpid()));
   std::filesystem::remove_all(cold_root);
 
-  TieredKVStore::Options sopts;
-  // A hot tier far below the pool's working set: the cold tier does real
-  // work. The prefix workload's unique-chunk working set is much larger, so
-  // its hot tier is bigger — big enough that recently shared families stay
-  // hot (full hot hits) while the tail still demotes (cold promotions).
-  sopts.hot = {.num_shards = 2,
-               .capacity_bytes = prefix_mode ? 48ull << 20 : 8ull << 20};
-  sopts.cold_root = cold_root;
-  sopts.cold_capacity_bytes = 0;  // the cheap tier keeps everything
-  auto store = std::make_shared<TieredKVStore>(sopts);
-
-  // The prefix layer (when asked for) owns lookups above the tiered store:
-  // full hits pin through it, fresh family suffixes become partial-prefix
-  // hits against the shared chunks, and write-backs dedup into the content-
-  // addressed store.
+  std::shared_ptr<TieredKVStore> store;
   std::shared_ptr<PrefixCache> pc;
-  std::shared_ptr<CacheTier> tier = store;
-  if (prefix_mode) {
-    PrefixCache::Options popts;
-    popts.chunk_tokens = eopts.chunk_tokens;
-    pc = std::make_shared<PrefixCache>(store, popts);
-    tier = pc;
+  std::shared_ptr<CacheFabric> fab;
+  std::shared_ptr<CacheTier> tier;
+  std::shared_ptr<KVStore> engine_store;
+  if (fabric_mode) {
+    // 4 simulated cache nodes behind one tier: every node owns a hot/cold
+    // tiered slice (under cold_root/node<i>) with its own prefix layer;
+    // content-addressed chunks stripe over the consistent-hash ring and are
+    // peer-fetched across nodes. Per-node hot tiers are small enough that
+    // the tail still demotes — cold promotions and remote fetches compose.
+    CacheFabric::Options fopts;
+    fopts.num_nodes = 4;
+    fopts.chunk_replicas = 2;
+    fopts.node_store = {.num_shards = 2, .capacity_bytes = 16ull << 20};
+    fopts.cold_root = cold_root;
+    fopts.prefix_opts.chunk_tokens = eopts.chunk_tokens;
+    fab = std::make_shared<CacheFabric>(fopts);
+    tier = fab;
+    engine_store = fab;
+  } else {
+    TieredKVStore::Options sopts;
+    // A hot tier far below the pool's working set: the cold tier does real
+    // work. The prefix workload's unique-chunk working set is much larger, so
+    // its hot tier is bigger — big enough that recently shared families stay
+    // hot (full hot hits) while the tail still demotes (cold promotions).
+    sopts.hot = {.num_shards = 2,
+                 .capacity_bytes = prefix_mode ? 48ull << 20 : 8ull << 20};
+    sopts.cold_root = cold_root;
+    sopts.cold_capacity_bytes = 0;  // the cheap tier keeps everything
+    store = std::make_shared<TieredKVStore>(sopts);
+
+    // The prefix layer (when asked for) owns lookups above the tiered store:
+    // full hits pin through it, fresh family suffixes become partial-prefix
+    // hits against the shared chunks, and write-backs dedup into the content-
+    // addressed store.
+    tier = store;
+    engine_store = store;
+    if (prefix_mode) {
+      PrefixCache::Options popts;
+      popts.chunk_tokens = eopts.chunk_tokens;
+      pc = std::make_shared<PrefixCache>(store, popts);
+      tier = pc;
+      engine_store = pc;
+    }
   }
-  Engine engine(eopts, prefix_mode ? std::static_pointer_cast<KVStore>(pc)
-                                   : std::static_pointer_cast<KVStore>(store));
+  Engine engine(eopts, engine_store);
 
   ClusterServer::Options copts;
   copts.num_workers = 4;
@@ -120,9 +153,9 @@ int main(int argc, char** argv) {
     copts.default_slo_s = ptopts.slo_s;
 
     std::printf(
-        "== CacheGen cluster (prefix mode): 4 workers, 3 Gbps shared path, "
+        "== CacheGen cluster (%s mode): 4 workers, 3 Gbps shared path, "
         "SLO %.1f s ==\n",
-        slo_s);
+        fabric_mode ? "fabric" : "prefix", slo_s);
     // Seed one member per family: repeats of these become full hits, fresh
     // suffixes of the same families become partial-prefix hits, and solo
     // contexts can only miss. The tight hot tier demotes, so some covered
@@ -132,9 +165,14 @@ int main(int argc, char** argv) {
       seed.emplace_back(PrefixFamilyContextId(f, 0),
                         PrefixFamilySpec(ptopts, f, 0));
     }
-    std::printf("pre-storing %zu family members (hot tier %.0f MB)...\n",
-                seed.size(),
-                static_cast<double>(store->hot().capacity_bytes()) / 1e6);
+    if (fabric_mode) {
+      std::printf("pre-storing %zu family members across %zu nodes...\n",
+                  seed.size(), fab->num_nodes());
+    } else {
+      std::printf("pre-storing %zu family members (hot tier %.0f MB)...\n",
+                  seed.size(),
+                  static_cast<double>(store->hot().capacity_bytes()) / 1e6);
+    }
     cluster.Prestore(seed);
     trace = SharedPrefixTrace(ptopts);
   } else {
@@ -157,12 +195,16 @@ int main(int argc, char** argv) {
     cluster.Prestore(topts);
     trace = PoissonTrace(topts);
   }
-  {
+  if (store) {
     const auto stats = store->stats();
     std::printf("after pre-store: %.1f MB hot, %.1f MB cold (%llu demotions)\n\n",
                 static_cast<double>(stats.hot_bytes) / 1e6,
                 static_cast<double>(stats.cold_bytes) / 1e6,
                 static_cast<unsigned long long>(stats.demotions));
+  } else {
+    std::printf("after pre-store: %.1f MB across %zu node stores\n\n",
+                static_cast<double>(fab->TotalBytes()) / 1e6,
+                fab->num_nodes());
   }
 
   const auto outcomes = cluster.Serve(std::move(trace));
@@ -170,27 +212,45 @@ int main(int argc, char** argv) {
   std::printf("%4s %9s %12s %6s %9s %9s %9s %5s\n", "req", "arrive", "doc",
               "tier", "queue(s)", "TTFT(s)", "quality", "SLO");
   for (const RequestOutcome& o : outcomes) {
+    std::string tier_name = o.prefix_hit
+                                ? "pfx"
+                                : (o.cold_hit ? "cold"
+                                              : (o.cache_hit ? "hot" : "miss"));
+    if (o.remote_hit) tier_name = "r" + tier_name;  // bytes crossed the fabric
     std::printf("%4llu %9.2f %12s %6s %9.2f %9.2f %9.3f %5s\n",
                 static_cast<unsigned long long>(o.request.id),
                 o.request.arrival_s, o.request.context_id.c_str(),
-                o.prefix_hit ? "pfx"
-                             : (o.cold_hit ? "cold"
-                                           : (o.cache_hit ? "hot" : "miss")),
-                o.queue_delay_s, o.ttft_s, o.quality,
+                tier_name.c_str(), o.queue_delay_s, o.ttft_s, o.quality,
                 o.slo_violated ? "VIOL" : "ok");
   }
 
   const ClusterSummary s = Summarize(outcomes, tier.get());
-  const auto stats = store->stats();
   std::printf("\n%s\n", FormatSummary(s).c_str());
-  std::printf(
-      "cache tier: %llu hot hits, %llu cold hits, %llu misses; "
-      "%llu demotions, %llu promotions\n",
-      static_cast<unsigned long long>(stats.hot_hits),
-      static_cast<unsigned long long>(stats.cold_hits),
-      static_cast<unsigned long long>(stats.misses),
-      static_cast<unsigned long long>(stats.demotions),
-      static_cast<unsigned long long>(stats.promotions));
+  if (store) {
+    const auto stats = store->stats();
+    std::printf(
+        "cache tier: %llu hot hits, %llu cold hits, %llu misses; "
+        "%llu demotions, %llu promotions\n",
+        static_cast<unsigned long long>(stats.hot_hits),
+        static_cast<unsigned long long>(stats.cold_hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.demotions),
+        static_cast<unsigned long long>(stats.promotions));
+  }
+  if (fab) {
+    const auto fs = fab->stats();
+    std::printf(
+        "fabric: %llu local / %llu remote / %llu prefix / %llu miss; "
+        "%llu peer fetches (%.1f MB), %llu xnode dedup, max read share %.2f\n",
+        static_cast<unsigned long long>(fs.local_hits),
+        static_cast<unsigned long long>(fs.remote_hits),
+        static_cast<unsigned long long>(fs.prefix_hits),
+        static_cast<unsigned long long>(fs.misses),
+        static_cast<unsigned long long>(fs.remote_chunk_fetches),
+        static_cast<double>(fs.remote_chunk_bytes) / 1e6,
+        static_cast<unsigned long long>(fs.xnode_dedup_chunks),
+        fs.max_read_share());
+  }
   if (pc) {
     const auto ps = pc->stats();
     std::printf("prefix layer: %llu full, %llu partial, %llu miss; "
@@ -202,14 +262,15 @@ int main(int argc, char** argv) {
                 static_cast<double>(ps.unique_bytes) / 1e6);
   }
 
-  store->Flush();
+  tier->Flush();
 
   if (!metrics_path.empty()) {
     obs::JsonWriter w;
     w.BeginObject();
     w.Field("schema", "cachegen-metrics-v1");
-    w.Field("example", prefix_mode ? "cluster_serving_prefix"
-                                   : "cluster_serving");
+    w.Field("example", fabric_mode ? "cluster_serving_fabric"
+                                   : (prefix_mode ? "cluster_serving_prefix"
+                                                  : "cluster_serving"));
     SummaryToJson(s, w);
     obs::AppendMetricsJson(w, obs::MetricsRegistry::Instance().SnapshotAll());
     w.EndObject();

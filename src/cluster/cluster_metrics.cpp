@@ -33,7 +33,9 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
   double good_tokens = 0.0;
   size_t violations = 0, hits = 0, cold_hits = 0;
   size_t prefix_hits = 0, full_misses = 0;
+  size_t local_full_hits = 0, remote_full_hits = 0;
   double covered_frac_sum = 0.0, prefix_ttft_sum = 0.0, miss_ttft_sum = 0.0;
+  double local_ttft_sum = 0.0, remote_ttft_sum = 0.0;
 
   for (const RequestOutcome& o : outcomes) {
     ttfts.push_back(o.ttft_s);
@@ -55,7 +57,16 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
       good_tokens += static_cast<double>(o.request.spec.num_tokens);
       effective_quality_sum += o.quality;
     }
-    if (o.cache_hit) ++hits;
+    if (o.cache_hit) {
+      ++hits;
+      if (o.remote_hit) {
+        ++remote_full_hits;
+        remote_ttft_sum += o.ttft_s;
+      } else {
+        ++local_full_hits;
+        local_ttft_sum += o.ttft_s;
+      }
+    }
     if (o.cold_hit) ++cold_hits;
     if (o.prefix_hit) {
       ++prefix_hits;
@@ -94,6 +105,14 @@ ClusterSummary Summarize(std::span<const RequestOutcome> outcomes,
   if (full_misses > 0) {
     s.mean_miss_ttft_s = miss_ttft_sum / static_cast<double>(full_misses);
   }
+  s.remote_hit_rate = static_cast<double>(remote_full_hits) / n;
+  s.local_hit_rate = static_cast<double>(local_full_hits) / n;
+  if (remote_full_hits > 0) {
+    s.mean_remote_ttft_s = remote_ttft_sum / static_cast<double>(remote_full_hits);
+  }
+  if (local_full_hits > 0) {
+    s.mean_local_ttft_s = local_ttft_sum / static_cast<double>(local_full_hits);
+  }
   s.mean_quality = quality_sum / n;
   s.mean_effective_quality = effective_quality_sum / n;
   s.mean_base_fraction = base_frac_sum / n;
@@ -106,12 +125,14 @@ std::string FormatSummary(const ClusterSummary& s) {
   std::snprintf(buf, sizeof(buf),
                 "n=%zu ttft p50/p95/p99 = %.2f/%.2f/%.2f s, queue %.2f s, "
                 "SLO-viol %.0f%%, goodput %.0f tok/s, QoE %.2f, "
-                "hot/cold/prefix/miss %.0f/%.0f/%.0f/%.0f%%, enh %.0f%%",
+                "hot/cold/prefix/miss %.0f/%.0f/%.0f/%.0f%%, loc/rem "
+                "%.0f/%.0f%%, enh %.0f%%",
                 s.completed, s.p50_ttft_s, s.p95_ttft_s, s.p99_ttft_s,
                 s.mean_queue_delay_s, 100.0 * s.slo_violation_rate,
                 s.goodput_tokens_per_s, s.mean_qoe_mos,
                 100.0 * s.hot_hit_rate, 100.0 * s.cold_hit_rate,
                 100.0 * s.prefix_hit_rate, 100.0 * s.miss_rate,
+                100.0 * s.local_hit_rate, 100.0 * s.remote_hit_rate,
                 100.0 * s.mean_enhanced_fraction);
   return buf;
 }
@@ -133,6 +154,10 @@ void SummaryToJson(const ClusterSummary& s, obs::JsonWriter& w) {
   w.Field("cold_hit_rate", s.cold_hit_rate);
   w.Field("prefix_hit_rate", s.prefix_hit_rate);
   w.Field("miss_rate", s.miss_rate);
+  w.Field("remote_hit_rate", s.remote_hit_rate);
+  w.Field("local_hit_rate", s.local_hit_rate);
+  w.Field("mean_remote_ttft_s", s.mean_remote_ttft_s);
+  w.Field("mean_local_ttft_s", s.mean_local_ttft_s);
   w.Field("mean_covered_fraction", s.mean_covered_fraction);
   w.Field("mean_prefix_ttft_s", s.mean_prefix_ttft_s);
   w.Field("mean_miss_ttft_s", s.mean_miss_ttft_s);

@@ -25,6 +25,10 @@ struct RequestOutcome {
   bool slo_violated = false;   // queue + load delay vs the request SLO
   bool cache_hit = false;      // FULL hit, hot or cold (never with forced_text)
   bool cold_hit = false;       // served by promoting the cold tier
+  // The stream was priced through the fabric's remote-read model: some
+  // covered byte lived on a peer node (multi-node CacheFabric only).
+  // Orthogonal to cold_hit; can also ride on a partial-prefix hit.
+  bool remote_hit = false;
   // Partial-prefix hit (prefix-aware tiers): the leading covered_tokens
   // tokens streamed as shared cached KV chunks; only the suffix shipped as
   // text and paid GPU prefill. Mutually exclusive with cache_hit AND with
@@ -63,6 +67,14 @@ struct ClusterSummary {
   double cold_hit_rate = 0.0;
   double prefix_hit_rate = 0.0;
   double miss_rate = 0.0;
+  // Fabric split of full hits: remote (bytes crossed the interconnect) vs
+  // local, with the TTFT of each — on a multi-node run mean_remote_ttft_s
+  // sits strictly between mean_local_ttft_s and mean_miss_ttft_s (the
+  // bench_cache_fabric CI gate). All 0 on single-node arrangements.
+  double remote_hit_rate = 0.0;       // over served requests
+  double local_hit_rate = 0.0;        // cache_hit_rate - remote_hit_rate
+  double mean_remote_ttft_s = 0.0;    // over remote full hits
+  double mean_local_ttft_s = 0.0;     // over local full hits
   // Prefix-sharing effect: mean fraction of a partial-hit request's tokens
   // served from the shared cached prefix, and the suffix-only TTFT next to
   // what a full miss pays (both 0 when the scenario never occurred).

@@ -47,6 +47,10 @@ ClusterServer::ClusterServer(Engine& engine, std::shared_ptr<CacheTier> tier,
   if (!(opts_.cold_read_gbps > 0.0)) {
     throw std::invalid_argument("ClusterServer: cold_read_gbps must be > 0");
   }
+  if (!(opts_.remote_read_gbps > 0.0) || opts_.remote_rtt_s < 0.0) {
+    throw std::invalid_argument(
+        "ClusterServer: remote_read_gbps must be > 0 and remote_rtt_s >= 0");
+  }
   if (tier_->prefix() != nullptr &&
       tier_->prefix()->options().chunk_tokens != engine_.options().chunk_tokens) {
     throw std::invalid_argument(
@@ -386,6 +390,7 @@ void ClusterServer::ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
   const bool hit = look.hit();
   const bool prefix = look.prefix_hit();
   const bool cold = look.any_cold;
+  const bool remote = look.any_remote;
   PinGuard pin =
       look.pinned ? PinGuard::Adopt(*tier_, rq.context_id) : PinGuard();
 
@@ -401,6 +406,7 @@ void ClusterServer::ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
   // is priced per event by the arbiter's lane as it drains.
   double hint = opts_.throughput_hint_gbps.value_or(
       link_->CapacityGbpsAt(admit_s) * gpu_share);
+  if (remote) hint = std::min(hint, opts_.remote_read_gbps);
   if (cold) hint = std::min(hint, opts_.cold_read_gbps);
 
   const StreamMode mode =
@@ -408,9 +414,17 @@ void ClusterServer::ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
           : (prefix ? StreamMode::kAdaptive : StreamMode::kForceText);
   const size_t kv_limit = prefix ? look.covered_chunks : SIZE_MAX;
   ClientLink client(*link_, flow);
+  // A remote hit streams through the fabric interconnect first (bandwidth
+  // cap + one RTT to first byte); a cold promotion on a remote node stacks
+  // the device-read model on top of it.
+  std::optional<ThrottledLink> remote_client;
+  if (remote) {
+    remote_client.emplace(client, opts_.remote_read_gbps, opts_.remote_rtt_s);
+  }
+  Link& net = remote ? static_cast<Link&>(*remote_client) : client;
   std::optional<ThrottledLink> cold_client;
-  if (cold) cold_client.emplace(client, opts_.cold_read_gbps, opts_.cold_seek_s);
-  Link& path = cold ? static_cast<Link&>(*cold_client) : client;
+  if (cold) cold_client.emplace(net, opts_.cold_read_gbps, opts_.cold_seek_s);
+  Link& path = cold ? static_cast<Link&>(*cold_client) : net;
 
   StreamHooks hooks;
   hooks.post_gpu = [&](double arrival_s, double const_s, double shared_s) {
@@ -444,6 +458,7 @@ void ClusterServer::ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
   out.slo_violated = queue_delay + sr.load_finish_s > slo + 1e-12;
   out.cache_hit = hit;
   out.cold_hit = hit && look.tier == KVTier::kCold;
+  out.remote_hit = remote;
   out.prefix_hit = prefix;
   out.covered_tokens = look.covered_tokens;
   out.forced_text = !hit && !prefix;
@@ -454,6 +469,13 @@ void ClusterServer::ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
   out.base_token_fraction = sr.base_token_fraction;
   out.enhanced_token_fraction = sr.enhanced_token_fraction;
 
+  if (remote) {
+    // The interconnect leg of the stream: between queue_wait and the end of
+    // kv_stream on this track (ci/check_trace.py validates the ordering on
+    // every remote-hit track).
+    CG_TRACE_VSPAN("fabric", "remote_fetch", track, admit_s,
+                   admit_s + opts_.remote_rtt_s, "rtt_s", opts_.remote_rtt_s);
+  }
   CG_TRACE_VSPAN("cluster", "kv_stream", track, admit_s,
                  admit_s + sr.load_finish_s, "bytes",
                  static_cast<double>(sr.bytes_sent));
@@ -465,6 +487,7 @@ void ClusterServer::ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
   } else {
     CG_METRIC_COUNT("cluster.misses", 1);
   }
+  if (remote) CG_METRIC_COUNT("cluster.remote_streams", 1);
   if (out.slo_violated) CG_METRIC_COUNT("cluster.slo_violations", 1);
   CG_METRIC_COUNT("cluster.bytes_sent", sr.bytes_sent);
   CG_METRIC_HIST("cluster.ttft_us", static_cast<uint64_t>(out.ttft_s * 1e6));
@@ -551,8 +574,10 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   const bool prefix = look.prefix_hit();
   // Cold pricing applies whenever any streamed chunk came off the cold
   // device — a cold full hit, or a partial prefix whose covered chunks were
-  // promoted.
+  // promoted. Remote pricing likewise applies whenever any covered byte
+  // lives on a peer node of a multi-node fabric.
   const bool cold = look.any_cold;
+  const bool remote = look.any_remote;
   // Whatever the lookup pinned (context and/or covered prefix chunks) is
   // owned by a guard: no exit path — including an exception — can leak it
   // and permanently shrink the evictable capacity.
@@ -575,6 +600,7 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   // picked for the slower path.
   double hint = opts_.throughput_hint_gbps.value_or(
       link_->CapacityGbpsAt(admit_s) * gpu_share);
+  if (remote) hint = std::min(hint, opts_.remote_read_gbps);
   if (cold) hint = std::min(hint, opts_.cold_read_gbps);
 
   // Scenario -> streaming mode. A partial-prefix hit streams adaptively up
@@ -586,12 +612,18 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
           : (prefix ? StreamMode::kAdaptive : StreamMode::kForceText);
   const size_t kv_limit = prefix ? look.covered_chunks : SIZE_MAX;
   ClientLink client(*link_, flow);
-  // Cold streams run through the cold-read model: throughput bounded by the
-  // device, first byte delayed by the seek. SLO accounting needs no special
-  // casing — the slower timeline simply is the stream's timeline.
+  // Remote streams pay the fabric interconnect (bandwidth cap + one RTT to
+  // first byte); cold streams run through the cold-read model on top of it.
+  // SLO accounting needs no special casing — the slower timeline simply is
+  // the stream's timeline.
+  std::optional<ThrottledLink> remote_client;
+  if (remote) {
+    remote_client.emplace(client, opts_.remote_read_gbps, opts_.remote_rtt_s);
+  }
+  Link& net = remote ? static_cast<Link&>(*remote_client) : client;
   std::optional<ThrottledLink> cold_client;
-  if (cold) cold_client.emplace(client, opts_.cold_read_gbps, opts_.cold_seek_s);
-  Link& path = cold ? static_cast<Link&>(*cold_client) : client;
+  if (cold) cold_client.emplace(net, opts_.cold_read_gbps, opts_.cold_seek_s);
+  Link& path = cold ? static_cast<Link&>(*cold_client) : net;
   const StreamResult sr =
       streamer.Stream(plan, path, gpu_share, hint, mode, kv_limit);
 
@@ -612,6 +644,7 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   out.slo_violated = queue_delay + sr.load_finish_s > slo + 1e-12;
   out.cache_hit = hit;
   out.cold_hit = hit && look.tier == KVTier::kCold;
+  out.remote_hit = remote;
   out.prefix_hit = prefix;
   out.covered_tokens = look.covered_tokens;
   out.forced_text = !hit && !prefix;  // prefix/cold streams are never forced_text
@@ -622,6 +655,10 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   out.base_token_fraction = sr.base_token_fraction;
   out.enhanced_token_fraction = sr.enhanced_token_fraction;
 
+  if (remote) {
+    CG_TRACE_VSPAN("fabric", "remote_fetch", track, admit_s,
+                   admit_s + opts_.remote_rtt_s, "rtt_s", opts_.remote_rtt_s);
+  }
   CG_TRACE_VSPAN("cluster", "kv_stream", track, admit_s,
                  admit_s + sr.load_finish_s, "bytes",
                  static_cast<double>(sr.bytes_sent));
@@ -633,6 +670,7 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   } else {
     CG_METRIC_COUNT("cluster.misses", 1);
   }
+  if (remote) CG_METRIC_COUNT("cluster.remote_streams", 1);
   if (out.slo_violated) CG_METRIC_COUNT("cluster.slo_violations", 1);
   CG_METRIC_COUNT("cluster.bytes_sent", sr.bytes_sent);
   CG_METRIC_HIST("cluster.ttft_us", static_cast<uint64_t>(out.ttft_s * 1e6));

@@ -28,11 +28,16 @@
 // finishing (or being admitted) re-prices every in-flight request from that
 // completion instant onward instead of freezing one snapshot per admission.
 //
-// Cache behavior — four scenarios, priced by one CacheTier lookup:
+// Cache behavior — five scenarios, priced by one CacheTier lookup:
 //   hot full hit    — stream encoded KV from RAM (kAdaptive/kProgressive);
 //   cold full hit   — same stream through a ThrottledLink modelling the cold
 //                     device's read bandwidth (Options::cold_read_gbps) and
 //                     first-byte seek (Options::cold_seek_s);
+//   remote hit      — the tier is a multi-node CacheFabric and the covered
+//                     bytes live on a peer node: the stream additionally
+//                     pays the interconnect model (Options::remote_read_gbps
+//                     bandwidth cap, Options::remote_rtt_s to first byte);
+//                     orthogonal to hot/cold — a remote cold hit stacks both;
 //   partial prefix  — a prefix-aware tier (PrefixCache) matched a cached
 //                     chunk-aligned prefix of the request's token sequence:
 //                     covered chunks stream as KV, only the uncovered suffix
@@ -117,6 +122,14 @@ class ClusterServer {
     // far cheaper than a re-prefill.
     double cold_read_gbps = 1.25;
     double cold_seek_s = 0.015;
+    // Remote-read model, charged whenever any streamed byte lives on a peer
+    // node of a multi-node CacheFabric (TierLookup::any_remote): the
+    // interconnect's per-stream bandwidth caps the effective throughput and
+    // one RTT delays the first byte. Faster than the cold device but slower
+    // than local RAM, so a remote hit's TTFT lands strictly between a local
+    // hit and a miss (the bench_cache_fabric CI gate).
+    double remote_read_gbps = 2.0;
+    double remote_rtt_s = 0.01;
   };
 
   // The general form: serve through any CacheTier arrangement. `engine`

@@ -1,0 +1,58 @@
+#include "fabric/replica_schedule.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace cachegen {
+
+namespace {
+
+// splitmix64: full-avalanche mixing of the reader id so consecutive request
+// ids (the common reader-id source) land on unrelated schedules.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ReplicaScheduleParams ReplicaScheduleFor(uint64_t reader,
+                                         uint32_t num_replicas) {
+  if (num_replicas == 0) {
+    throw std::invalid_argument("ReplicaScheduleFor: num_replicas == 0");
+  }
+  ReplicaScheduleParams p;
+  if (num_replicas == 1) return p;
+  const uint64_t h = Mix64(reader);
+  p.offset = static_cast<uint32_t>(h % num_replicas);
+  // Pick the step from the units of Z_R (all s in [1,R) with gcd(s,R)==1):
+  // for prime R that is every nonzero residue; for composite R the unit
+  // count is phi(R) >= 1 (s=1 always qualifies), so the scan terminates.
+  uint32_t want = static_cast<uint32_t>((h >> 32) % (num_replicas - 1));
+  uint32_t step = 1;
+  for (uint32_t s = 1; s < num_replicas; ++s) {
+    if (std::gcd(s, num_replicas) != 1) continue;
+    step = s;
+    if (want == 0) break;
+    --want;
+  }
+  p.step = step;
+  return p;
+}
+
+uint32_t ReplicaChoice(uint64_t reader, uint64_t slot, uint32_t num_replicas) {
+  if (num_replicas <= 1) {
+    if (num_replicas == 0) {
+      throw std::invalid_argument("ReplicaChoice: num_replicas == 0");
+    }
+    return 0;
+  }
+  const ReplicaScheduleParams p = ReplicaScheduleFor(reader, num_replicas);
+  return static_cast<uint32_t>(
+      (p.offset + (slot % num_replicas) * static_cast<uint64_t>(p.step)) %
+      num_replicas);
+}
+
+}  // namespace cachegen

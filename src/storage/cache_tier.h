@@ -10,9 +10,12 @@
 // constructor expression, not a new server mode.
 //
 // The lookup result is richer than hit/miss because the serving layer
-// prices four scenarios differently:
+// prices the scenarios differently:
 //   kHot  full hit   — stream encoded KV from RAM;
 //   kCold full hit   — stream encoded KV through the cold-read model;
+//   remote hit       — any_remote: the bytes live on a peer node of a
+//                      multi-node CacheFabric and additionally price
+//                      through the remote-read model;
 //   partial prefix   — tier() == kMiss but covered_chunks > 0: the leading
 //                      chunks are cached (content-addressed, shared with
 //                      other contexts) and stream as KV; only the uncovered
@@ -53,6 +56,11 @@ struct TierLookup {
   // Some covered chunk was served by promoting the cold tier — the serving
   // layer prices the stream through the cold-read model.
   bool any_cold = false;
+  // Some covered byte lives on a peer node of a multi-node fabric (the
+  // request landed away from the context's home node, or a covered chunk
+  // was fetched from a remote replica) — the serving layer prices the
+  // stream through the remote-read model. Single-node tiers never set it.
+  bool any_remote = false;
   // The lookup took pins the caller must release with exactly one Unpin.
   bool pinned = false;
 
