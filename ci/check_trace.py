@@ -24,15 +24,21 @@ Checks (all hard failures):
     and ends no later than kv_stream ends (equal timestamps allowed — the
     fetch begins exactly at admission).
 
+With --names src/obs/names.h, every event category in the trace must also
+appear in the trace-category catalog of that header (the same catalog
+ci/cg_lint.py enforces at the call-site level), so an exported trace can
+never carry a category the repo does not document.
+
 Every failure is a single "FAIL: ..." line on stderr and exit code 1 — no
 tracebacks, whatever shape the input file is in.
 
-Usage: check_trace.py TRACE.json [--require-cat CAT ...]
+Usage: check_trace.py TRACE.json [--require-cat CAT ...] [--names NAMES_H]
 """
 
 import argparse
 import collections
 import json
+import re
 import sys
 
 EXPECTED_SCHEMA_VERSION = 1
@@ -50,7 +56,25 @@ def fail(msg):
     raise TraceError(msg)
 
 
-def check(trace_path, required_cats):
+def load_cat_catalog(names_path):
+    """Parse the trace-category catalog from src/obs/names.h: the string
+    literals between the `cg-lint: trace-cat-catalog-begin/end` markers."""
+    try:
+        with open(names_path) as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"cannot load names catalog {names_path}: {e}")
+    b = text.find("cg-lint: trace-cat-catalog-begin")
+    e = text.find("cg-lint: trace-cat-catalog-end")
+    if b < 0 or e < 0 or e < b:
+        fail(f"{names_path}: missing trace-cat-catalog markers")
+    catalog = set(re.findall(r'"((?:[^"\\]|\\.)*)"', text[b:e]))
+    if not catalog:
+        fail(f"{names_path}: trace-cat catalog is empty")
+    return catalog
+
+
+def check(trace_path, required_cats, cat_catalog=None):
     try:
         with open(trace_path) as f:
             doc = json.load(f)
@@ -117,6 +141,11 @@ def check(trace_path, required_cats):
             open_spans[track].pop()
         if "cat" in ev:
             cats_seen[ev["cat"]] += 1
+            if cat_catalog is not None and ev["cat"] not in cat_catalog:
+                fail(
+                    f"event {i} ({ev['name']!r}) has category {ev['cat']!r} "
+                    f"not in the names catalog (known: {sorted(cat_catalog)})"
+                )
         if ev["pid"] == VIRTUAL_PID and ph in ("X", "i"):
             virtual_names[ev["tid"]].add(ev["name"])
             if ev.get("cat") == "cluster.event":
@@ -223,11 +252,19 @@ def main(argv=None):
         f"(default: {' '.join(DEFAULT_REQUIRED_CATS)}; repeatable, "
         "replaces the default list)",
     )
+    ap.add_argument(
+        "--names",
+        default=None,
+        metavar="NAMES_H",
+        help="path to src/obs/names.h; when given, every event category "
+        "must appear in its trace-cat catalog",
+    )
     args = ap.parse_args(argv)
     required_cats = args.require_cat or DEFAULT_REQUIRED_CATS
 
     try:
-        check(args.trace, required_cats)
+        catalog = load_cat_catalog(args.names) if args.names else None
+        check(args.trace, required_cats, catalog)
     except TraceError as e:
         print(f"FAIL: {e}", file=sys.stderr)
         return 1

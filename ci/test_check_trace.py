@@ -3,9 +3,10 @@
 
 Covers the failure-mode contract (missing / empty / truncated / non-JSON
 trace files must produce a single FAIL line and exit 1, never a traceback),
-the category and lifecycle requirements, the cluster.event FSM checks, and
-the fabric remote_hit -> remote_fetch ordering contract. Runs with nothing
-but the standard library: `python3 ci/test_check_trace.py`.
+the category and lifecycle requirements, the cluster.event FSM checks, the
+fabric remote_hit -> remote_fetch ordering contract, and the --names
+catalog validation against src/obs/names.h. Runs with nothing but the
+standard library: `python3 ci/test_check_trace.py`.
 """
 
 import io
@@ -193,6 +194,25 @@ def main():
                               if e["name"] not in ("chunk_gpu_decode",)]
         code, _, err = run(write("nolife.json", doc))
         assert code == 1 and "full lifecycle" in err, (code, err)
+        checks += 1
+
+        # 13. --names: the good trace's categories are all in the repo's
+        #     real catalog; an event with a made-up category fails; a
+        #     missing or marker-less catalog file fails with one line.
+        names_h = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               os.pardir, "src", "obs", "names.h")
+        good = write("good2.json", base_doc())
+        code, _, err = run(good, ["--names", names_h])
+        assert code == 0, f"good trace must pass --names, got {code}: {err}"
+        doc = base_doc(extra_events=[
+            ev("rogue", "not.a.real.cat", pid=1, tid=1, ts=900, dur=1)])
+        code, _, err = run(write("roguecat.json", doc), ["--names", names_h])
+        assert code == 1 and "not.a.real.cat" in err, (code, err)
+        assert one_line_fail(err), err
+        for bad in (os.path.join(tmp, "no-names.h"),
+                    write("unmarked.h", "const char* x = \"cluster\";")):
+            code, _, err = run(good, ["--names", bad])
+            assert code == 1 and one_line_fail(err), (bad, code, err)
         checks += 1
 
     print(f"check_trace self-test: {checks} checks OK")

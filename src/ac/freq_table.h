@@ -26,7 +26,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <span>
 #include <vector>
 

@@ -1,14 +1,13 @@
 #include "cluster/cluster_server.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "cluster/request_fsm.h"
+#include "common/thread_annotations.h"
 #include "codec/encoding_level.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -144,40 +143,40 @@ struct ClusterServer::WorkChannel {
     double gpu_share = 1.0;  // adapter/hint prior, frozen at admission
   };
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Admission> admissions;
+  Mutex mu;
+  CondVar cv;
+  std::deque<Admission> admissions CG_GUARDED_BY(mu);
   // Post-completion codec tails (assemble/generate/pin-release): real CPU
   // work with no virtual-time cost, drained by whichever worker goes idle
   // first instead of by a thread outliving its slot.
-  std::deque<std::function<void()>> continuations;
-  bool closed = false;
+  std::deque<std::function<void()>> continuations CG_GUARDED_BY(mu);
+  bool closed CG_GUARDED_BY(mu) = false;
 
   void PushAdmission(Admission a) {
     {
-      std::lock_guard lk(mu);
+      MutexLock lk(mu);
       admissions.push_back(std::move(a));
       CG_METRIC_GAUGE_SET("cluster.queue.admission_depth", admissions.size());
     }
-    cv.notify_one();
+    cv.NotifyOne();
   }
 
   void PushContinuation(std::function<void()> fn) {
     {
-      std::lock_guard lk(mu);
+      MutexLock lk(mu);
       continuations.push_back(std::move(fn));
       CG_METRIC_GAUGE_SET("cluster.queue.continuation_depth",
                           continuations.size());
     }
-    cv.notify_one();
+    cv.NotifyOne();
   }
 
   void Close() {
     {
-      std::lock_guard lk(mu);
+      MutexLock lk(mu);
       closed = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
 };
 
@@ -204,11 +203,11 @@ void ClusterServer::ServeEventLoop(RequestQueue& queue, size_t n,
         std::function<void()> tail;
         bool have_adm = false;
         {
-          std::unique_lock lk(channel.mu);
-          channel.cv.wait(lk, [&] {
-            return channel.closed || !channel.admissions.empty() ||
-                   !channel.continuations.empty();
-          });
+          MutexLock lk(channel.mu);
+          while (!channel.closed && channel.admissions.empty() &&
+                 channel.continuations.empty()) {
+            channel.cv.Wait(channel.mu);
+          }
           if (!channel.admissions.empty()) {
             adm = std::move(channel.admissions.front());
             channel.admissions.pop_front();
@@ -294,9 +293,18 @@ void ClusterServer::ServeEventLoop(RequestQueue& queue, size_t n,
   for (std::thread& t : pool) t.join();
   // Belt and braces: nothing should remain (each worker drains before
   // exiting), but a continuation enqueued between another worker's final
-  // check and its exit is still run here.
-  for (auto& fn : channel.continuations) fn();
-  channel.continuations.clear();
+  // check and its exit is still run here. Pop under the lock, run outside
+  // it: a tail may itself push a continuation.
+  for (;;) {
+    std::function<void()> fn;
+    {
+      MutexLock lk(channel.mu);
+      if (channel.continuations.empty()) break;
+      fn = std::move(channel.continuations.front());
+      channel.continuations.pop_front();
+    }
+    fn();
+  }
 }
 
 void ClusterServer::ServeThreadPerRequest(RequestQueue& queue, size_t n,

@@ -17,26 +17,26 @@ constexpr double kTimeEps = 1e-12;
 SharedLink::SharedLink(BandwidthTrace capacity) : capacity_(std::move(capacity)) {}
 
 SharedLink::HoldId SharedLink::HoldAt(double t_s) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const HoldId id = next_hold_++;
   holds_[id] = std::max(t_s, now_s_);
   return id;
 }
 
 void SharedLink::ReleaseHold(HoldId id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   holds_.erase(id);
   AdvanceLocked();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void SharedLink::SetGpuSlots(size_t n) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   gpu_slots_ = n;
 }
 
 SharedLink::HoldId SharedLink::HoldAdmission(double t_s) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const HoldId id = next_hold_++;
   const double t = std::max(t_s, now_s_);
   holds_[id] = t;
@@ -49,7 +49,7 @@ SharedLink::HoldId SharedLink::HoldAdmission(double t_s) {
 
 void SharedLink::PostGpuWork(FlowId id, double arrival_s, double const_s,
                              double shared_s) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   Flow& f = flows_.at(id);
   GpuItem item;
   item.arrival_s = std::max(arrival_s, 0.0);
@@ -66,7 +66,7 @@ void SharedLink::PostGpuWork(FlowId id, double arrival_s, double const_s,
 }
 
 std::vector<double> SharedLink::DrainGpu(FlowId id) {
-  std::unique_lock lk(mu_);
+  MutexLock lk(mu_);
   Flow& f = flows_.at(id);
   if (!f.lane.empty()) {
     f.t_start = f.clock;
@@ -76,8 +76,8 @@ std::vector<double> SharedLink::DrainGpu(FlowId id) {
     f.parked = true;
     f.draining = true;
     AdvanceLocked();
-    cv_.notify_all();
-    cv_.wait(lk, [&] { return f.done; });
+    cv_.NotifyAll();
+    while (!f.done) cv_.Wait(mu_);
     f.done = false;
     f.draining = false;
     f.clock = f.end_s;
@@ -88,7 +88,7 @@ std::vector<double> SharedLink::DrainGpu(FlowId id) {
 }
 
 double SharedLink::GpuShareAt(double t_s) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   int n = gpu_base_inflight_;
   for (const auto& [t, delta] : gpu_events_) {
     if (t <= t_s + kTimeEps) n += delta;
@@ -99,7 +99,7 @@ double SharedLink::GpuShareAt(double t_s) const {
 }
 
 SharedLink::FlowId SharedLink::Register(double start_s, double weight) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const FlowId id = next_flow_++;
   Flow f;
   f.clock = std::max(start_s, now_s_);
@@ -111,14 +111,14 @@ SharedLink::FlowId SharedLink::Register(double start_s, double weight) {
 }
 
 void SharedLink::Deregister(FlowId id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   flows_.erase(id);
   AdvanceLocked();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 TransferRecord SharedLink::Transfer(FlowId id, double bytes) {
-  std::unique_lock lk(mu_);
+  MutexLock lk(mu_);
   Flow& f = flows_.at(id);
   f.t_start = std::max(f.clock, now_s_);
   f.remaining = std::max(bytes, 0.0);
@@ -132,8 +132,8 @@ TransferRecord SharedLink::Transfer(FlowId id, double bytes) {
     f.parked = true;
     AdvanceLocked();
   }
-  cv_.notify_all();
-  cv_.wait(lk, [&] { return f.done; });
+  cv_.NotifyAll();
+  while (!f.done) cv_.Wait(mu_);
   f.done = false;
   f.clock = f.end_s;
   TransferRecord rec;
@@ -150,7 +150,7 @@ TransferRecord SharedLink::Transfer(FlowId id, double bytes) {
 }
 
 void SharedLink::WaitUntil(FlowId id, double t_s) {
-  std::unique_lock lk(mu_);
+  MutexLock lk(mu_);
   Flow& f = flows_.at(id);
   if (t_s <= f.clock + kTimeEps) return;
   f.t_start = f.clock;
@@ -159,19 +159,19 @@ void SharedLink::WaitUntil(FlowId id, double t_s) {
   f.done = false;
   f.parked = true;
   AdvanceLocked();
-  cv_.notify_all();
-  cv_.wait(lk, [&] { return f.done; });
+  cv_.NotifyAll();
+  while (!f.done) cv_.Wait(mu_);
   f.done = false;
   f.clock = f.end_s;
 }
 
 double SharedLink::FlowClock(FlowId id) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return flows_.at(id).clock;
 }
 
 void SharedLink::CompleteFlow(FlowId id, double free_s, uint64_t payload) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   flows_.erase(id);
   Completion c;
   c.free_s = std::max(free_s, now_s_);
@@ -183,30 +183,34 @@ void SharedLink::CompleteFlow(FlowId id, double free_s, uint64_t payload) {
   gpu_events_[c.free_s] -= 1;
   completions_.push_back(c);
   AdvanceLocked();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 SharedLink::Completion SharedLink::PopCompletion(size_t in_flight) {
-  std::unique_lock lk(mu_);
+  MutexLock lk(mu_);
   size_t best = 0;
-  cv_.wait(lk, [&] {
-    if (completions_.empty()) return false;
-    best = 0;
-    for (size_t i = 1; i < completions_.size(); ++i) {
-      const Completion& a = completions_[i];
-      const Completion& b = completions_[best];
-      if (a.free_s < b.free_s ||
-          (a.free_s == b.free_s && a.payload < b.payload)) {
-        best = i;
+  for (;;) {
+    bool ready = false;
+    if (!completions_.empty()) {
+      best = 0;
+      for (size_t i = 1; i < completions_.size(); ++i) {
+        const Completion& a = completions_[i];
+        const Completion& b = completions_[best];
+        if (a.free_s < b.free_s ||
+            (a.free_s == b.free_s && a.payload < b.payload)) {
+          best = i;
+        }
       }
+      // Safe to release: nothing still in flight can complete earlier. Any
+      // in-flight request not yet queued here either holds time at its
+      // admission instant or has a registered flow, so its eventual free
+      // instant lies strictly beyond now().
+      ready = completions_.size() >= in_flight ||
+              completions_[best].free_s <= now_s_ + 1e-9;
     }
-    // Safe to release: nothing still in flight can complete earlier. Any
-    // in-flight request not yet queued here either holds time at its
-    // admission instant or has a registered flow, so its eventual free
-    // instant lies strictly beyond now().
-    return completions_.size() >= in_flight ||
-           completions_[best].free_s <= now_s_ + 1e-9;
-  });
+    if (ready) break;
+    cv_.Wait(mu_);
+  }
   Completion c = completions_[best];
   completions_.erase(completions_.begin() +
                      static_cast<std::ptrdiff_t>(best));
@@ -214,12 +218,12 @@ SharedLink::Completion SharedLink::PopCompletion(size_t in_flight) {
 }
 
 double SharedLink::now() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return now_s_;
 }
 
 size_t SharedLink::ActiveFlows() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return flows_.size();
 }
 

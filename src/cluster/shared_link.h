@@ -44,14 +44,13 @@
 // the per-item completion instants.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "net/bandwidth_trace.h"
 #include "net/link.h"
 
@@ -152,26 +151,32 @@ class SharedLink {
 
   // Advance virtual time while every flow is parked, holds permit, and no
   // completion has been produced. Caller holds mu_.
-  void AdvanceLocked();
+  void AdvanceLocked() CG_REQUIRES(mu_);
+  // Reads only the immutable capacity trace; no lock needed.
   double NextSegmentBoundaryAfter(double t_s) const;
-  double MinHoldLocked() const;
+  double MinHoldLocked() const CG_REQUIRES(mu_);
   // Share in effect at now_s_ (call after FoldGpuLedgerLocked).
-  double GpuShareLocked() const;
+  double GpuShareLocked() const CG_REQUIRES(mu_);
   // Absorb ledger events at instants <= now_s_ into the base count.
-  void FoldGpuLedgerLocked();
+  void FoldGpuLedgerLocked() CG_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
+  // One lock arbitrates the whole fluid simulation: every piece of
+  // virtual-time state below moves together under mu_ (capacity_ alone is
+  // immutable after construction).
+  mutable Mutex mu_;
+  mutable CondVar cv_;
   BandwidthTrace capacity_;
-  double now_s_ = 0.0;
-  std::map<FlowId, Flow> flows_;
-  std::map<HoldId, double> holds_;
-  std::vector<Completion> completions_;
-  FlowId next_flow_ = 1;
-  HoldId next_hold_ = 1;
-  size_t gpu_slots_ = 0;              // 0 = uncapped
-  int gpu_base_inflight_ = 0;         // in-flight count settled through now_s_
-  std::map<double, int> gpu_events_;  // future ledger deltas, instant -> net
+  double now_s_ CG_GUARDED_BY(mu_) = 0.0;
+  std::map<FlowId, Flow> flows_ CG_GUARDED_BY(mu_);
+  std::map<HoldId, double> holds_ CG_GUARDED_BY(mu_);
+  std::vector<Completion> completions_ CG_GUARDED_BY(mu_);
+  FlowId next_flow_ CG_GUARDED_BY(mu_) = 1;
+  HoldId next_hold_ CG_GUARDED_BY(mu_) = 1;
+  size_t gpu_slots_ CG_GUARDED_BY(mu_) = 0;  // 0 = uncapped
+  // In-flight count settled through now_s_.
+  int gpu_base_inflight_ CG_GUARDED_BY(mu_) = 0;
+  // Future ledger deltas, instant -> net.
+  std::map<double, int> gpu_events_ CG_GUARDED_BY(mu_);
 };
 
 // Adapter presenting one SharedLink flow through the Link interface, so the

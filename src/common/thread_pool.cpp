@@ -36,6 +36,10 @@ struct ThreadPool::Job {
   std::atomic<int> slots{0};        // participant slots still open
   std::atomic<bool> failed{false};
   std::exception_ptr error;
+  // done_mu guards no data — all job state above is atomic; the pair exists
+  // only so the `pending == 0` transition can wake Run()'s join wait without
+  // a lost-wakeup race. Deliberately a plain std::mutex: there is nothing
+  // here for the thread-safety analysis to check.
   std::mutex done_mu;
   std::condition_variable done_cv;
 
@@ -62,15 +66,18 @@ ThreadPool::ThreadPool(unsigned pool_size)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> l(mu_);
+  // Explicit lock()/unlock() instead of a scoped guard: the loop drops the
+  // lock around ExecuteSome, and the thread-safety analysis tracks the
+  // explicit calls across the loop's join points.
+  mu_.lock();
   for (;;) {
     std::shared_ptr<Job> job;
     for (auto it = jobs_.begin(); it != jobs_.end();) {
@@ -85,13 +92,16 @@ void ThreadPool::WorkerLoop() {
       ++it;
     }
     if (job) {
-      l.unlock();
+      mu_.unlock();
       ExecuteSome(job);
-      l.lock();
+      mu_.lock();
       continue;
     }
-    if (stop_) return;
-    cv_.wait(l);
+    if (stop_) {
+      mu_.unlock();
+      return;
+    }
+    cv_.Wait(mu_);
   }
 }
 
@@ -151,10 +161,10 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn,
   job->pending.store(n, std::memory_order_relaxed);
   job->slots.store(static_cast<int>(limit), std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     jobs_.push_back(job);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   ExecuteSome(job);
 
@@ -167,7 +177,7 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn,
   {
     // Drop the queue's reference; workers that still hold the job only touch
     // its atomics, never the caller-owned fn, once it is exhausted.
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
       if (*it == job) {
         jobs_.erase(it);
@@ -197,12 +207,12 @@ void ThreadPool::Submit(std::function<void()> fn) {
   job->pending.store(1, std::memory_order_relaxed);
   job->slots.store(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     jobs_.push_back(std::move(job));
   }
   // Exhausted submissions are reaped by WorkerLoop's scan; nothing waits on
   // done_cv, so completion needs no bookkeeping here.
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 }  // namespace cachegen

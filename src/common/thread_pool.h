@@ -21,14 +21,14 @@
 // variable if set. Per-call caps come through Run's max_participants.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace cachegen {
 
@@ -70,11 +70,11 @@ class ThreadPool {
   static void ExecuteSome(const std::shared_ptr<Job>& job);
 
   unsigned pool_size_;
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Job>> jobs_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // written in ctor/dtor only
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<Job>> jobs_ CG_GUARDED_BY(mu_);
+  bool stop_ CG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cachegen

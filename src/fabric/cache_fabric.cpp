@@ -306,7 +306,7 @@ const PrefixCache* CacheFabric::prefix() const {
 // --- chunk directory + peer fetch --------------------------------------------
 
 std::vector<uint32_t> CacheFabric::OwnersOf(const std::string& cas_id) const {
-  std::lock_guard lk(dir_mu_);
+  MutexLock lk(dir_mu_);
   auto it = dir_.find(cas_id);
   return it != dir_.end() ? it->second.owners : std::vector<uint32_t>{};
 }
@@ -339,7 +339,7 @@ void CacheFabric::StoreChunk(uint32_t from_node, const std::string& cas_id,
   bool fresh = false;
   bool was_holder = false;
   {
-    std::lock_guard lk(dir_mu_);
+    MutexLock lk(dir_mu_);
     auto [it, inserted] = dir_.try_emplace(cas_id);
     fresh = inserted;
     if (inserted) {
@@ -431,7 +431,7 @@ void CacheFabric::DerefChunk(uint32_t from_node, const std::string& cas_id) {
   std::vector<uint32_t> owners;
   bool dead = false;
   {
-    std::lock_guard lk(dir_mu_);
+    MutexLock lk(dir_mu_);
     auto it = dir_.find(cas_id);
     if (it == dir_.end()) {
       // Not fabric-managed; treat as a plain local erase.
@@ -485,7 +485,7 @@ CacheFabric::Stats CacheFabric::stats() const {
   s.remote_chunk_bytes = remote_chunk_bytes_.load(std::memory_order_relaxed);
   s.xnode_dedup_chunks = xnode_dedup_chunks_.load(std::memory_order_relaxed);
   {
-    std::lock_guard lk(dir_mu_);
+    MutexLock lk(dir_mu_);
     s.dir_chunks = dir_.size();
   }
   s.node_chunk_reads.reserve(nodes_.size());

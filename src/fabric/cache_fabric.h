@@ -45,11 +45,11 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "fabric/hash_ring.h"
 #include "prefix/prefix_cache.h"
 #include "storage/cache_tier.h"
@@ -206,8 +206,10 @@ class CacheFabric final : public KVStore, public CacheTier {
   HashRing ring_;
   std::vector<Node> nodes_;
 
-  mutable std::mutex dir_mu_;
-  std::unordered_map<std::string, DirEntry> dir_;
+  // Guards only the chunk directory; per-node stores have their own locks
+  // (lock order: node PrefixCache mu_ -> dir_mu_ -> node store locks).
+  mutable Mutex dir_mu_;
+  std::unordered_map<std::string, DirEntry> dir_ CG_GUARDED_BY(dir_mu_);
 
   mutable std::atomic<uint64_t> local_hits_{0};
   mutable std::atomic<uint64_t> remote_hits_{0};

@@ -61,7 +61,7 @@ void Histogram::Record(uint64_t v) {
   s.sum.fetch_add(v, std::memory_order_relaxed);
   s.buckets[HistBucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
   if (capture_.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(capture_mu_);
+    MutexLock lock(capture_mu_);
     if (samples_.size() < capture_cap_) samples_.push_back(v);
   }
 }
@@ -85,19 +85,19 @@ void Histogram::Reset() {
     s.sum.store(0, std::memory_order_relaxed);
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(capture_mu_);
+  MutexLock lock(capture_mu_);
   samples_.clear();
 }
 
 void Histogram::EnableExactCapture(size_t max_samples) {
-  std::lock_guard<std::mutex> lock(capture_mu_);
+  MutexLock lock(capture_mu_);
   capture_cap_ = max_samples;
   samples_.reserve(std::min<size_t>(max_samples, 4096));
   capture_.store(true, std::memory_order_relaxed);
 }
 
 std::vector<uint64_t> Histogram::ExactSamples() const {
-  std::lock_guard<std::mutex> lock(capture_mu_);
+  MutexLock lock(capture_mu_);
   return samples_;
 }
 
@@ -138,7 +138,7 @@ MetricsRegistry& MetricsRegistry::Instance() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -146,7 +146,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -154,7 +154,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -162,7 +162,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::SnapshotAll() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
@@ -171,7 +171,7 @@ MetricsRegistry::Snapshot MetricsRegistry::SnapshotAll() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

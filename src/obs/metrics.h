@@ -31,10 +31,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace cachegen::obs {
 
@@ -115,10 +116,12 @@ class Histogram {
   };
   Shard shards_[kMetricShards];
 
+  // capture_ gates the locked sample path: Record() takes capture_mu_ only
+  // when the (relaxed) flag is set, keeping the default record path lock-free.
   std::atomic<bool> capture_{false};
-  mutable std::mutex capture_mu_;
-  size_t capture_cap_ = 0;
-  std::vector<uint64_t> samples_;
+  mutable cachegen::Mutex capture_mu_;
+  size_t capture_cap_ CG_GUARDED_BY(capture_mu_) = 0;
+  std::vector<uint64_t> samples_ CG_GUARDED_BY(capture_mu_);
 };
 
 // Exact quantile over raw samples (sorts a copy): the reference the
@@ -150,10 +153,15 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mu_ guards only the name -> metric maps (get-or-create and iteration);
+  // the metric objects themselves record lock-free through stable pointers.
+  mutable cachegen::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CG_GUARDED_BY(mu_);
 };
 
 }  // namespace cachegen::obs

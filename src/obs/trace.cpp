@@ -51,10 +51,15 @@ Tracer::Ring& Tracer::LocalRing() {
   // Snapshot() after the owning thread exited still sees its events.
   thread_local std::shared_ptr<Ring> ring = [this] {
     auto r = std::make_shared<Ring>();
-    r->capacity = ring_capacity_.load(std::memory_order_relaxed);
-    r->events.reserve(std::min<size_t>(r->capacity, 1024));
-    r->track = ThreadTrack();
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    {
+      // Uncontended (the ring is not yet published); taken so the guarded
+      // writes are visible to the thread-safety analysis.
+      MutexLock ring_lock(r->mu);
+      r->capacity = ring_capacity_.load(std::memory_order_relaxed);
+      r->events.reserve(std::min<size_t>(r->capacity, 1024));
+      r->track = ThreadTrack();
+    }
+    MutexLock lock(registry_mu_);
     rings_.push_back(r);
     return r;
   }();
@@ -63,9 +68,9 @@ Tracer::Ring& Tracer::LocalRing() {
 
 void Tracer::Record(TraceEvent ev) {
   Ring& ring = LocalRing();
-  if (ev.clock == TraceClock::kWall) ev.track = ring.track;
   if (ev.request_id == 0) ev.request_id = ScopedRequestId::Current();
-  std::lock_guard<std::mutex> lock(ring.mu);
+  MutexLock lock(ring.mu);
+  if (ev.clock == TraceClock::kWall) ev.track = ring.track;
   if (ring.events.size() < ring.capacity) {
     ring.events.push_back(ev);
     ring.head = ring.events.size() % ring.capacity;
@@ -81,12 +86,12 @@ void Tracer::Record(TraceEvent ev) {
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     rings = rings_;
   }
   std::vector<TraceEvent> out;
   for (const auto& ring : rings) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     // Oldest-first: [head, size) then [0, head) once the ring has wrapped.
     if (ring->size == ring->capacity && ring->dropped > 0) {
       out.insert(out.end(), ring->events.begin() + ring->head,
@@ -107,9 +112,9 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> rl(ring->mu);
+    MutexLock rl(ring->mu);
     ring->events.clear();
     ring->head = 0;
     ring->size = 0;
@@ -118,10 +123,10 @@ void Tracer::Clear() {
 }
 
 uint64_t Tracer::DroppedEvents() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   uint64_t n = 0;
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> rl(ring->mu);
+    MutexLock rl(ring->mu);
     n += ring->dropped;
   }
   return n;

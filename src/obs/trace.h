@@ -32,8 +32,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace cachegen::obs {
 
@@ -92,13 +93,15 @@ class Tracer {
 
  private:
   struct Ring {
-    std::mutex mu;
-    std::vector<TraceEvent> events;  // circular once full
-    size_t capacity = 0;
-    size_t head = 0;        // next write position
-    size_t size = 0;        // min(#recorded, capacity)
-    uint64_t dropped = 0;
-    uint64_t track = 0;     // owning thread's wall-track id
+    // Taken only by the owning thread (Record) and by Snapshot/Clear —
+    // writers never contend with each other.
+    cachegen::Mutex mu;
+    std::vector<TraceEvent> events CG_GUARDED_BY(mu);  // circular once full
+    size_t capacity CG_GUARDED_BY(mu) = 0;
+    size_t head CG_GUARDED_BY(mu) = 0;  // next write position
+    size_t size CG_GUARDED_BY(mu) = 0;  // min(#recorded, capacity)
+    uint64_t dropped CG_GUARDED_BY(mu) = 0;
+    uint64_t track CG_GUARDED_BY(mu) = 0;  // owning thread's wall-track id
   };
 
   Tracer();
@@ -106,8 +109,10 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> ring_capacity_{16384};
-  mutable std::mutex registry_mu_;
-  std::vector<std::shared_ptr<Ring>> rings_;
+  // Lock order: registry_mu_ -> Ring::mu (Snapshot/Clear copy the ring list
+  // under the registry lock, then lock each ring).
+  mutable cachegen::Mutex registry_mu_;
+  std::vector<std::shared_ptr<Ring>> rings_ CG_GUARDED_BY(registry_mu_);
 };
 
 // Thread-local request-id scope; nests (the previous id is restored).

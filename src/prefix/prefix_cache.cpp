@@ -145,7 +145,20 @@ void PrefixCache::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
 
 void PrefixCache::PutBatch(const std::string& context_id,
                            std::span<const ChunkView> chunks) {
-  std::unique_lock<std::mutex> lock(mu_);
+  // The body can throw (grid validation, inner backend writes), so the lock
+  // is scoped RAII; the never-announced pass-through exits the scope first
+  // and calls the inner tier with mu_ released.
+  bool passthrough = false;
+  {
+    MutexLock lock(mu_);
+    PutBatchLocked(context_id, chunks, passthrough);
+  }
+  if (passthrough) inner_->kv().PutBatch(context_id, chunks);
+}
+
+void PrefixCache::PutBatchLocked(const std::string& context_id,
+                                 std::span<const ChunkView> chunks,
+                                 bool& passthrough) {
   // Spec source, in priority order: a live BeginStore announcement, else an
   // existing registration of the same id (context content is immutable per
   // id in this system, so a re-store — e.g. the loser of a concurrent
@@ -159,9 +172,9 @@ void PrefixCache::PutBatch(const std::string& context_id,
     const auto cit = contexts_.find(context_id);
     if (cit == contexts_.end()) {
       // Never announced: opaque pass-through, exactly the inner tier's
-      // behavior (direct Engine users keep working unchanged).
-      lock.unlock();
-      inner_->kv().PutBatch(context_id, chunks);
+      // behavior (direct Engine users keep working unchanged). The caller
+      // forwards with mu_ released.
+      passthrough = true;
       return;
     }
     spec = cit->second.spec;
@@ -321,7 +334,7 @@ std::vector<bool> PrefixCache::PreStoreCoverage(
     const std::string& context_id, size_t num_chunks,
     std::span<const int32_t> level_ids) const {
   std::vector<bool> covered(num_chunks, false);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Spec source mirrors PutBatch: a live announcement, else an existing
   // registration (the re-store path). Anything else is pass-through — no
   // content addresses, nothing coverable.
@@ -362,7 +375,7 @@ std::vector<bool> PrefixCache::PreStoreCoverage(
 std::optional<std::vector<uint8_t>> PrefixCache::Get(const ChunkKey& key) const {
   ChunkKey target = key;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = contexts_.find(key.context_id);
     if (it != contexts_.end() &&
         key.chunk_index < it->second.cas_ids.size()) {
@@ -375,7 +388,7 @@ std::optional<std::vector<uint8_t>> PrefixCache::Get(const ChunkKey& key) const 
 
 bool PrefixCache::ContainsContext(const std::string& context_id) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (contexts_.count(context_id) > 0) return true;
   }
   return inner_->kv().ContainsContext(context_id);
@@ -383,7 +396,7 @@ bool PrefixCache::ContainsContext(const std::string& context_id) const {
 
 void PrefixCache::EraseContext(const std::string& context_id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = contexts_.find(context_id);
     if (it != contexts_.end()) {
       // Same contract as the inner tiers: a pinned context is never removed
@@ -400,7 +413,7 @@ uint64_t PrefixCache::TotalBytes() const { return inner_->kv().TotalBytes(); }
 
 uint64_t PrefixCache::ContextBytes(const std::string& context_id) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = contexts_.find(context_id);
     if (it != contexts_.end()) return it->second.logical_bytes;
   }
@@ -430,22 +443,23 @@ TierLookup PrefixCache::LookupAndPin(const std::string& context_id,
   //      post-gap context state.
   CG_TRACE_SPAN("prefix", "radix_lookup");
   TierLookup out;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
 
   bool registered = contexts_.count(context_id) > 0;
   if (!registered) {
     // Unregistered id. It may still exist as an opaque pass-through context
     // in the inner tier (direct users); that probe can also be cold I/O, so
     // it too runs unlocked.
-    lock.unlock();
+    mu_.unlock();
     const TierLookup raw = inner_->LookupAndPin(context_id, spec, t_s);
-    lock.lock();
+    mu_.lock();
     if (raw.pinned) {
       PinRecord rec;
       rec.raw = true;
       pin_records_[context_id].push_back(std::move(rec));
       ++full_hits_;
       CG_METRIC_COUNT("prefix.full_hits", 1);
+      mu_.unlock();
       return raw;
     }
     // A concurrent write-back may have registered the id during the probe.
@@ -486,7 +500,7 @@ TierLookup PrefixCache::LookupAndPin(const std::string& context_id,
   size_t covered = 0;
   bool lost_at_break = false;
   if (prepinned > 0) {
-    lock.unlock();
+    mu_.unlock();
     for (; covered < prepinned; ++covered) {
       const TierLookup r =
           inner_->LookupAndPin(candidates[covered], ContextSpec{}, t_s);
@@ -500,7 +514,7 @@ TierLookup PrefixCache::LookupAndPin(const std::string& context_id,
       out.any_cold = out.any_cold || r.tier == KVTier::kCold;
       out.covered_tokens += cand_ranges[covered].size();
     }
-    lock.lock();
+    mu_.lock();
   }
   out.covered_chunks = covered;
 
@@ -547,15 +561,17 @@ TierLookup PrefixCache::LookupAndPin(const std::string& context_id,
   } else {
     ++misses_;
     CG_METRIC_COUNT("prefix.misses", 1);
+    mu_.unlock();
     return out;  // nothing pinned, no record
   }
   out.pinned = true;
   pin_records_[context_id].push_back(std::move(rec));
+  mu_.unlock();
   return out;
 }
 
 void PrefixCache::Pin(const std::string& context_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PinRecord rec;
   const auto it = contexts_.find(context_id);
   if (it != contexts_.end()) {
@@ -574,7 +590,7 @@ void PrefixCache::Pin(const std::string& context_id) {
 }
 
 void PrefixCache::Unpin(const std::string& context_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto rit = pin_records_.find(context_id);
   if (rit == pin_records_.end() || rit->second.empty()) {
     // No record: tolerate like the inner tiers tolerate stray Unpins.
@@ -632,7 +648,7 @@ void PrefixCache::Unpin(const std::string& context_id) {
 }
 
 void PrefixCache::Touch(const std::string& context_id, double t_s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = contexts_.find(context_id);
   if (it == contexts_.end()) {
     inner_->Touch(context_id, t_s);
@@ -646,14 +662,14 @@ void PrefixCache::Touch(const std::string& context_id, double t_s) {
 
 void PrefixCache::BeginStore(const std::string& context_id,
                              const ContextSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Announcement& a = announced_[context_id];
   a.spec = spec;
   ++a.writers;
 }
 
 void PrefixCache::AbortStore(const std::string& context_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Registration and abort each retire one writer's announcement, so failed
   // write-backs of one-shot ids cannot accumulate announcement state
   // forever — while a racing writer's live announcement survives.
@@ -664,7 +680,7 @@ void PrefixCache::AbortStore(const std::string& context_id) {
 }
 
 PrefixCache::Stats PrefixCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.full_hits = full_hits_;
   s.prefix_hits = prefix_hits_;

@@ -57,12 +57,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "prefix/radix_index.h"
 #include "storage/cache_tier.h"
 #include "storage/kv_store.h"
@@ -119,7 +119,7 @@ class PrefixCache final : public KVStore, public CacheTier {
   // store, refcounted, and the context is registered in the radix index.
   // Otherwise the batch passes through untranslated.
   void PutBatch(const std::string& context_id,
-                std::span<const ChunkView> chunks) override;
+                std::span<const ChunkView> chunks) override CG_EXCLUDES(mu_);
   // True per chunk whose content address already holds every requested
   // level (and whose bytes the inner tier still has): Engine::StoreKV skips
   // prefill+encode for those, and PutBatch above accepts their omission.
@@ -127,24 +127,31 @@ class PrefixCache final : public KVStore, public CacheTier {
   // addressable spec and reports nothing covered.
   std::vector<bool> PreStoreCoverage(
       const std::string& context_id, size_t num_chunks,
-      std::span<const int32_t> level_ids) const override;
-  std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const override;
-  bool ContainsContext(const std::string& context_id) const override;
+      std::span<const int32_t> level_ids) const override CG_EXCLUDES(mu_);
+  std::optional<std::vector<uint8_t>> Get(const ChunkKey& key) const override
+      CG_EXCLUDES(mu_);
+  bool ContainsContext(const std::string& context_id) const override
+      CG_EXCLUDES(mu_);
   // Refused (like the inner tiers) while the context is pinned.
-  void EraseContext(const std::string& context_id) override;
+  void EraseContext(const std::string& context_id) override CG_EXCLUDES(mu_);
   uint64_t TotalBytes() const override;  // physical (dedup'd) bytes
   // Logical bytes of one context (its chunks at full size, shared or not).
-  uint64_t ContextBytes(const std::string& context_id) const override;
+  uint64_t ContextBytes(const std::string& context_id) const override
+      CG_EXCLUDES(mu_);
 
   // --- CacheTier interface -------------------------------------------------
+  // CG_EXCLUDES(mu_) encodes the layer's core concurrency rule: public entry
+  // points are never called with mu_ held, because inner-tier I/O (possibly
+  // cold-tier disk reads) must run with the prefix lock RELEASED.
   TierLookup LookupAndPin(const std::string& context_id, const ContextSpec& spec,
-                          double t_s) override;
-  void Pin(const std::string& context_id) override;
-  void Unpin(const std::string& context_id) override;
-  void Touch(const std::string& context_id, double t_s) override;
+                          double t_s) override CG_EXCLUDES(mu_);
+  void Pin(const std::string& context_id) override CG_EXCLUDES(mu_);
+  void Unpin(const std::string& context_id) override CG_EXCLUDES(mu_);
+  void Touch(const std::string& context_id, double t_s) override
+      CG_EXCLUDES(mu_);
   void BeginStore(const std::string& context_id,
-                  const ContextSpec& spec) override;
-  void AbortStore(const std::string& context_id) override;
+                  const ContextSpec& spec) override CG_EXCLUDES(mu_);
+  void AbortStore(const std::string& context_id) override CG_EXCLUDES(mu_);
   void Flush() override { inner_->Flush(); }
   KVStore& kv() override { return *this; }
   const ShardedKVStore* hot_tier() const override { return inner_->hot_tier(); }
@@ -156,7 +163,7 @@ class PrefixCache final : public KVStore, public CacheTier {
   // Deterministic and public so tests can assert aliasing.
   std::string ContentAddress(const ContextSpec& spec, size_t chunk_index) const;
 
-  Stats stats() const;
+  Stats stats() const CG_EXCLUDES(mu_);
   const Options& options() const { return opts_; }
   CacheTier& inner() { return *inner_; }
 
@@ -186,25 +193,35 @@ class PrefixCache final : public KVStore, public CacheTier {
     std::vector<std::string> cas_ids;   // inner chunk pins to release
   };
 
-  // All Locked helpers assume mu_ is held.
+  // All Locked helpers require mu_ (enforced by the thread-safety analysis).
   std::string ContentAddressFor(const ContextSpec& spec, size_t chunk_index,
                                 const ChunkRange& range) const;
-  void DerefChunkLocked(const std::string& cas_id);
+  // The announced/registered body of PutBatch; sets `passthrough` (and does
+  // nothing else) when the id was never announced so the caller can forward
+  // the batch to the inner tier with mu_ released.
+  void PutBatchLocked(const std::string& context_id,
+                      std::span<const ChunkView> chunks,
+                      bool& passthrough) CG_REQUIRES(mu_);
+  void DerefChunkLocked(const std::string& cas_id) CG_REQUIRES(mu_);
   // The inner tier genuinely lost this chunk's bytes (e.g. cold-capacity
   // eviction behind a tiered inner): drop the stale entry so the next
   // write-back re-stores instead of dedup'ing against nothing.
-  void InvalidateLostChunkLocked(const std::string& cas_id);
-  void EraseChunkLocked(const std::string& cas_id);
+  void InvalidateLostChunkLocked(const std::string& cas_id) CG_REQUIRES(mu_);
+  void EraseChunkLocked(const std::string& cas_id) CG_REQUIRES(mu_);
   void DeregisterContextLocked(const std::string& context_id,
-                               ContextEntry& entry);
-  void EnforceCapacityLocked(const std::string* keep);
+                               ContextEntry& entry) CG_REQUIRES(mu_);
+  void EnforceCapacityLocked(const std::string* keep) CG_REQUIRES(mu_);
 
   std::shared_ptr<CacheTier> inner_;
   Options opts_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, ChunkEntry> chunks_;     // by cas id
-  std::unordered_map<std::string, ContextEntry> contexts_;  // registered
+  // Lock order: prefix mu_ -> inner tier locks; the inner tier never calls
+  // back into this layer, so the order cannot invert.
+  mutable Mutex mu_;
+  std::unordered_map<std::string, ChunkEntry> chunks_
+      CG_GUARDED_BY(mu_);  // by cas id
+  std::unordered_map<std::string, ContextEntry> contexts_
+      CG_GUARDED_BY(mu_);  // registered
   // Live BeginStore announcements: spec plus the number of writers that
   // announced and have not yet registered or aborted (a concurrent double
   // write-back announces twice; one writer's abort must not strand the
@@ -213,20 +230,22 @@ class PrefixCache final : public KVStore, public CacheTier {
     ContextSpec spec;
     int writers = 0;
   };
-  std::unordered_map<std::string, Announcement> announced_;
-  std::unordered_map<std::string, int> pending_pins_;  // pinned before stored
-  std::unordered_map<std::string, std::vector<PinRecord>> pin_records_;
-  RadixPrefixIndex index_;
-  uint64_t unique_bytes_ = 0;
+  std::unordered_map<std::string, Announcement> announced_ CG_GUARDED_BY(mu_);
+  std::unordered_map<std::string, int> pending_pins_
+      CG_GUARDED_BY(mu_);  // pinned before stored
+  std::unordered_map<std::string, std::vector<PinRecord>> pin_records_
+      CG_GUARDED_BY(mu_);
+  RadixPrefixIndex index_ CG_GUARDED_BY(mu_);
+  uint64_t unique_bytes_ CG_GUARDED_BY(mu_) = 0;
 
-  uint64_t full_hits_ = 0;
-  uint64_t prefix_hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t covered_tokens_total_ = 0;
-  uint64_t deduped_bytes_ = 0;
-  uint64_t deduped_chunks_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t freed_bytes_ = 0;
+  uint64_t full_hits_ CG_GUARDED_BY(mu_) = 0;
+  uint64_t prefix_hits_ CG_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ CG_GUARDED_BY(mu_) = 0;
+  uint64_t covered_tokens_total_ CG_GUARDED_BY(mu_) = 0;
+  uint64_t deduped_bytes_ CG_GUARDED_BY(mu_) = 0;
+  uint64_t deduped_chunks_ CG_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ CG_GUARDED_BY(mu_) = 0;
+  uint64_t freed_bytes_ CG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cachegen

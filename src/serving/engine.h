@@ -6,7 +6,7 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <optional>
 #include <string>
 #include <vector>

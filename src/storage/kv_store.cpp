@@ -5,12 +5,12 @@
 #include <cstdio>
 #include <fstream>
 #include <list>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "common/sha256.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace cachegen {
@@ -37,7 +37,7 @@ constexpr size_t kReverseMapCap = 4096;
 class ReverseMapLru {
  public:
   void Insert(const std::string& mangled, const std::string& original) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = index_.find(mangled);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -53,7 +53,7 @@ class ReverseMapLru {
   }
 
   std::optional<std::string> Find(const std::string& mangled) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = index_.find(mangled);
     if (it == index_.end()) return std::nullopt;
     lru_.splice(lru_.begin(), lru_, it->second);  // recovery refreshes recency
@@ -61,19 +61,19 @@ class ReverseMapLru {
   }
 
   size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return index_.size();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Front = most recently used. The index points into the list, so moves
   // (splice) never invalidate it.
-  std::list<std::pair<std::string, std::string>> lru_;
+  std::list<std::pair<std::string, std::string>> lru_ CG_GUARDED_BY(mu_);
   std::unordered_map<
       std::string,
       std::list<std::pair<std::string, std::string>>::iterator>
-      index_;
+      index_ CG_GUARDED_BY(mu_);
 };
 
 ReverseMapLru& ReverseMap() {

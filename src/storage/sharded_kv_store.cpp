@@ -14,7 +14,12 @@ ShardedKVStore::ShardedKVStore(Options opts, BackendFactory factory)
   shards_.reserve(opts_.num_shards);
   for (size_t i = 0; i < opts_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->backend = factory ? factory(i) : std::make_unique<MemoryKVStore>();
+    {
+      // Uncontended (the shard is not yet published); taken so the guarded
+      // write is visible to the thread-safety analysis.
+      MutexLock lock(shard->mu);
+      shard->backend = factory ? factory(i) : std::make_unique<MemoryKVStore>();
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -34,6 +39,14 @@ void ShardedKVStore::TouchLocked(ContextMeta& meta, double t_s) {
 
 void ShardedKVStore::EnforceCapacityLocked(Shard& shard, const std::string* keep) {
   if (shard_capacity_ == 0) return;
+  // Snapshot the demotion sink once per enforcement pass: the setter may run
+  // concurrently with another shard's eviction, so the member itself is
+  // guarded by sink_mu_ (lock order: Shard::mu -> sink_mu_, leaf).
+  EvictionSink sink;
+  {
+    MutexLock sink_lock(sink_mu_);
+    sink = eviction_sink_;
+  }
   // A shard never evicts its last context: a single context larger than the
   // per-shard slice soft-overflows instead of being evicted by its own
   // write-back's Unpin, which would otherwise turn every future request for
@@ -62,7 +75,7 @@ void ShardedKVStore::EnforceCapacityLocked(Shard& shard, const std::string* keep
     // the cause — and the eviction proceeds as a plain erase.
     bool demote = false;
     EvictedContext evicted;
-    if (eviction_sink_) {
+    if (sink) {
       evicted.context_id = *victim;
       evicted.last_touch_s = victim_meta->last_touch_s;
       evicted.bytes = freed;
@@ -82,7 +95,7 @@ void ShardedKVStore::EnforceCapacityLocked(Shard& shard, const std::string* keep
     shard.backend->EraseContext(*victim);
     shard.bytes -= freed;
     shard.contexts.erase(*victim);
-    if (demote) eviction_sink_(std::move(evicted));
+    if (demote) sink(std::move(evicted));
     evictions_.fetch_add(1, std::memory_order_relaxed);
     evicted_bytes_.fetch_add(freed, std::memory_order_relaxed);
   }
@@ -96,7 +109,7 @@ void ShardedKVStore::Put(const ChunkKey& key, std::span<const uint8_t> bytes) {
 void ShardedKVStore::PutBatch(const std::string& context_id,
                               std::span<const ChunkView> chunks) {
   Shard& shard = ShardFor(context_id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto [ctx_it, inserted] = shard.contexts.try_emplace(context_id);
   ContextMeta& meta = ctx_it->second;
   const bool was_absent = meta.chunk_bytes.empty();
@@ -145,13 +158,13 @@ void ShardedKVStore::PutBatch(const std::string& context_id,
 
 std::optional<std::vector<uint8_t>> ShardedKVStore::Get(const ChunkKey& key) const {
   const Shard& shard = ShardFor(key.context_id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.backend->Get(key);
 }
 
 bool ShardedKVStore::ContainsContext(const std::string& context_id) const {
   const Shard& shard = ShardFor(context_id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.contexts.find(context_id);
   // A pin-only placeholder (no chunks written yet) does not count as present.
   return it != shard.contexts.end() && !it->second.chunk_bytes.empty();
@@ -159,7 +172,7 @@ bool ShardedKVStore::ContainsContext(const std::string& context_id) const {
 
 void ShardedKVStore::EraseContext(const std::string& context_id) {
   Shard& shard = ShardFor(context_id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.contexts.find(context_id);
   if (it == shard.contexts.end()) return;
   // Same contract as eviction: a pinned context is never removed out from
@@ -174,7 +187,7 @@ void ShardedKVStore::EraseContext(const std::string& context_id) {
 uint64_t ShardedKVStore::TotalBytes() const {
   uint64_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    MutexLock lock(shard->mu);
     n += shard->bytes;
   }
   return n;
@@ -182,14 +195,14 @@ uint64_t ShardedKVStore::TotalBytes() const {
 
 uint64_t ShardedKVStore::ContextBytes(const std::string& context_id) const {
   const Shard& shard = ShardFor(context_id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.contexts.find(context_id);
   return it == shard.contexts.end() ? 0 : it->second.bytes;
 }
 
 bool ShardedKVStore::LookupAndPin(const std::string& context_id, double t_s) {
   Shard& shard = ShardFor(context_id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.contexts.find(context_id);
   if (it == shard.contexts.end() || it->second.chunk_bytes.empty()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -214,20 +227,20 @@ TierLookup ShardedKVStore::LookupAndPin(const std::string& context_id,
 
 void ShardedKVStore::Touch(const std::string& context_id, double t_s) {
   Shard& shard = ShardFor(context_id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.contexts.find(context_id);
   if (it != shard.contexts.end()) TouchLocked(it->second, t_s);
 }
 
 void ShardedKVStore::Pin(const std::string& context_id) {
   Shard& shard = ShardFor(context_id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   ++shard.contexts[context_id].pins;  // creates the meta entry if absent
 }
 
 void ShardedKVStore::Unpin(const std::string& context_id) {
   Shard& shard = ShardFor(context_id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.contexts.find(context_id);
   if (it == shard.contexts.end()) return;
   if (it->second.pins > 0) --it->second.pins;

@@ -21,11 +21,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/cache_tier.h"
 #include "storage/kv_store.h"
 
@@ -61,10 +61,15 @@ class ShardedKVStore final : public KVStore, public CacheTier {
 
   // Invoked for every capacity eviction (never for explicit EraseContext),
   // while the owning shard's lock is held — the sink must only hand the data
-  // off (enqueue/buffer), never touch this store or block on I/O. Install
-  // before the store sees concurrent traffic; the setter is not synchronized.
+  // off (enqueue/buffer), never touch this store or block on I/O. The setter
+  // is synchronized against concurrent evictions (sink_mu_), so installing a
+  // sink while traffic is already flowing is safe; evictions that raced
+  // ahead of the install simply don't demote.
   using EvictionSink = std::function<void(EvictedContext&&)>;
-  void set_eviction_sink(EvictionSink sink) { eviction_sink_ = std::move(sink); }
+  void set_eviction_sink(EvictionSink sink) {
+    MutexLock lock(sink_mu_);
+    eviction_sink_ = std::move(sink);
+  }
 
   // Default backend: one MemoryKVStore per shard.
   explicit ShardedKVStore(Options opts, BackendFactory factory = nullptr);
@@ -135,22 +140,27 @@ class ShardedKVStore final : public KVStore, public CacheTier {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unique_ptr<KVStore> backend;
-    std::unordered_map<std::string, ContextMeta> contexts;
-    uint64_t bytes = 0;
+    mutable Mutex mu;
+    std::unique_ptr<KVStore> backend CG_GUARDED_BY(mu);
+    std::unordered_map<std::string, ContextMeta> contexts CG_GUARDED_BY(mu);
+    uint64_t bytes CG_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& context_id);
   const Shard& ShardFor(const std::string& context_id) const;
   // Evict LRU unpinned contexts (never `*keep` when non-null) until the
   // shard fits its capacity slice. Caller holds the shard lock.
-  void EnforceCapacityLocked(Shard& shard, const std::string* keep);
+  void EnforceCapacityLocked(Shard& shard, const std::string* keep)
+      CG_REQUIRES(shard.mu);
   void TouchLocked(ContextMeta& meta, double t_s);
 
   Options opts_;
   uint64_t shard_capacity_ = 0;
-  EvictionSink eviction_sink_;
+  // Lock order: Shard::mu -> sink_mu_ (EnforceCapacityLocked snapshots the
+  // sink under sink_mu_ while holding its shard lock). sink_mu_ is a leaf —
+  // nothing is locked while it is held.
+  mutable Mutex sink_mu_;
+  EvictionSink eviction_sink_ CG_GUARDED_BY(sink_mu_);
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};

@@ -131,7 +131,7 @@ void TieredKVStore::AdoptPersistedColdContexts() {
       ReadColdManifest(opts_.cold_root);
   std::vector<std::string> erase_ids;
   {
-    std::lock_guard<std::mutex> lock(cold_mu_);
+    MutexLock lock(cold_mu_);
     for (const auto& dir : fs::directory_iterator(opts_.cold_root)) {
       if (!dir.is_directory()) continue;
       // No completion sentinel: the writer died between chunk commits (or
@@ -190,7 +190,7 @@ void TieredKVStore::SyncManifestToDisk() {
   // Snapshot under the lock, write without it.
   std::vector<std::pair<std::string, double>> rows;  // (original id, touch)
   {
-    std::lock_guard<std::mutex> lock(cold_mu_);
+    MutexLock lock(cold_mu_);
     rows.reserve(cold_.size());
     for (const auto& [id, e] : cold_) {
       if (e->persisted && !e->dead) rows.emplace_back(id, e->last_touch_s);
@@ -233,7 +233,7 @@ void TieredKVStore::OnHotEviction(ShardedKVStore::EvictedContext&& victim) {
   ColdEntryPtr entry;
   std::vector<std::string> erase_ids;
   {
-    std::lock_guard<std::mutex> lock(cold_mu_);
+    MutexLock lock(cold_mu_);
     ColdEntryPtr& slot = cold_[id];
     if (slot) {
       // Replace an older incarnation. Same id means same immutable content
@@ -379,12 +379,12 @@ KVTier TieredKVStore::LookupAndPin(const std::string& context_id, double t_s) {
       hot_hits_.fetch_add(1, std::memory_order_relaxed);
       return KVTier::kHot;
     }
-    std::unique_lock<std::mutex> lock(cold_mu_);
+    cold_mu_.lock();
     if (promoting_.count(context_id) > 0) {
       // Another thread is moving this context hot; wait and retry the hot
       // lookup so concurrent requests for one cold context agree.
-      promote_cv_.wait(
-          lock, [&] { return promoting_.count(context_id) == 0; });
+      while (promoting_.count(context_id) > 0) promote_cv_.Wait(cold_mu_);
+      cold_mu_.unlock();
       continue;
     }
     const auto it = cold_.find(context_id);
@@ -394,9 +394,9 @@ KVTier TieredKVStore::LookupAndPin(const std::string& context_id, double t_s) {
       // settles it (a demotion registers in the manifest under the shard
       // lock before the hot tier forgets the context, so two consecutive
       // double misses mean genuinely absent).
+      cold_mu_.unlock();
       if (!retried) {
         retried = true;
-        lock.unlock();
         continue;
       }
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -419,6 +419,7 @@ KVTier TieredKVStore::LookupAndPin(const std::string& context_id, double t_s) {
       chunks = std::move(entry->buffer);
     }
     promoting_.insert(context_id);
+    cold_mu_.unlock();
     break;
   }
   // Scope guard, not a manual call: the id must leave promoting_ on EVERY
@@ -429,10 +430,10 @@ KVTier TieredKVStore::LookupAndPin(const std::string& context_id, double t_s) {
     const std::string& id;
     ~FinishPromotion() {
       {
-        std::lock_guard<std::mutex> lock(store->cold_mu_);
+        MutexLock lock(store->cold_mu_);
         store->promoting_.erase(id);
       }
-      store->promote_cv_.notify_all();
+      store->promote_cv_.NotifyAll();
     }
   } finish_promotion{this, context_id};
 
@@ -481,7 +482,7 @@ KVTier TieredKVStore::LookupAndPin(const std::string& context_id, double t_s) {
     // reclaim whatever files exist (the erase job would otherwise skip a
     // context that is present in the manifest).
     {
-      std::lock_guard<std::mutex> lock(cold_mu_);
+      MutexLock lock(cold_mu_);
       const auto it = cold_.find(context_id);
       if (it != cold_.end()) {
         it->second->dead = true;
@@ -530,7 +531,7 @@ void TieredKVStore::EnqueuePersist(const std::string& context_id,
     const std::vector<std::pair<ChunkKey, std::vector<uint8_t>>>* buffer =
         nullptr;
     {
-      std::lock_guard<std::mutex> lock(cold_mu_);
+      MutexLock lock(cold_mu_);
       if (entry->dead || entry->persisted) return;
       entry->writing = true;
       buffer = &entry->buffer;
@@ -564,7 +565,7 @@ void TieredKVStore::EnqueuePersist(const std::string& context_id,
     }
     bool discard_files = false;
     {
-      std::lock_guard<std::mutex> lock(cold_mu_);
+      MutexLock lock(cold_mu_);
       entry->writing = false;
       if (entry->dead) {
         // Promoted/evicted while writing: whatever landed on disk is
@@ -597,7 +598,7 @@ void TieredKVStore::EnqueuePersist(const std::string& context_id,
 void TieredKVStore::EnqueueErase(std::string context_id) {
   EnqueueJob([this, context_id = std::move(context_id)] {
     {
-      std::lock_guard<std::mutex> lock(cold_mu_);
+      MutexLock lock(cold_mu_);
       // A newer incarnation re-entered the manifest after this erase was
       // queued; its bytes share the directory, so removing it now would
       // destroy live data (its own persist pass keeps the files fresh).
@@ -620,7 +621,7 @@ void TieredKVStore::EnqueueJob(std::function<void()> job) {
   const bool has_workers = ThreadPool::Instance().size() > 1;
   bool start_drainer = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     jobs_.push_back(std::move(job));
     if (has_workers && !drainer_active_) {
       drainer_active_ = true;
@@ -635,26 +636,29 @@ void TieredKVStore::EnqueueJob(std::function<void()> job) {
 void TieredKVStore::DrainJobs() {
   for (;;) {
     std::function<void()> job;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      if (jobs_.empty()) {
-        // Settle the manifest before retiring, so any waiter released by
-        // Flush() observes disk state (chunks AND manifest) in sync. Jobs
-        // that arrive while writing are picked up by another loop turn —
-        // only the true final drain retires the drainer role.
-        lock.unlock();
-        if (manifest_dirty_.exchange(false, std::memory_order_acq_rel)) {
-          SyncManifestToDisk();
-        }
-        lock.lock();
-        if (!jobs_.empty()) continue;
-        drainer_active_ = false;
-        queue_cv_.notify_all();
-        return;
+    queue_mu_.lock();
+    if (jobs_.empty()) {
+      // Settle the manifest before retiring, so any waiter released by
+      // Flush() observes disk state (chunks AND manifest) in sync. Jobs
+      // that arrive while writing are picked up by another loop turn —
+      // only the true final drain retires the drainer role.
+      queue_mu_.unlock();
+      if (manifest_dirty_.exchange(false, std::memory_order_acq_rel)) {
+        SyncManifestToDisk();
       }
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
+      queue_mu_.lock();
+      if (!jobs_.empty()) {
+        queue_mu_.unlock();
+        continue;
+      }
+      drainer_active_ = false;
+      queue_cv_.NotifyAll();
+      queue_mu_.unlock();
+      return;
     }
+    job = std::move(jobs_.front());
+    jobs_.pop_front();
+    queue_mu_.unlock();
     try {
       job();
     } catch (...) {
@@ -665,22 +669,25 @@ void TieredKVStore::DrainJobs() {
 }
 
 void TieredKVStore::Flush() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
   // Loop, not a one-shot claim: with no background workers, a job enqueued
   // by another thread while this thread drains would otherwise strand the
   // wait forever (nothing else ever drains or signals in that mode).
+  queue_mu_.lock();
   for (;;) {
-    if (jobs_.empty() && !drainer_active_) return;
+    if (jobs_.empty() && !drainer_active_) {
+      queue_mu_.unlock();
+      return;
+    }
     if (!drainer_active_) {
       // Claim the drainer role — the normal case when no background worker
       // exists — and drain on this thread.
       drainer_active_ = true;
-      lock.unlock();
+      queue_mu_.unlock();
       DrainJobs();
-      lock.lock();
+      queue_mu_.lock();
       continue;
     }
-    queue_cv_.wait(lock);
+    queue_cv_.Wait(queue_mu_);
   }
 }
 
@@ -700,37 +707,38 @@ std::optional<std::vector<uint8_t>> TieredKVStore::Get(
   bool retried = false;
   for (;;) {
     if (auto from_hot = hot_->Get(key)) return from_hot;
-    {
-      std::unique_lock<std::mutex> lock(cold_mu_);
-      if (promoting_.count(key.context_id) > 0) {
-        // Mid-promotion the bytes live in the promoter's hands — neither
-        // tier would answer. Wait and retry the hot tier.
-        promote_cv_.wait(
-            lock, [&] { return promoting_.count(key.context_id) == 0; });
+    cold_mu_.lock();
+    if (promoting_.count(key.context_id) > 0) {
+      // Mid-promotion the bytes live in the promoter's hands — neither
+      // tier would answer. Wait and retry the hot tier.
+      while (promoting_.count(key.context_id) > 0) promote_cv_.Wait(cold_mu_);
+      cold_mu_.unlock();
+      continue;
+    }
+    const auto it = cold_.find(key.context_id);
+    if (it == cold_.end()) {
+      // A racing promotion can have completed wholesale between the hot
+      // check and here; one clean retry of both tiers settles it.
+      cold_mu_.unlock();
+      if (!retried) {
+        retried = true;
         continue;
       }
-      const auto it = cold_.find(key.context_id);
-      if (it == cold_.end()) {
-        // A racing promotion can have completed wholesale between the hot
-        // check and here; one clean retry of both tiers settles it.
-        if (!retried) {
-          retried = true;
-          lock.unlock();
-          continue;
-        }
-        return std::nullopt;
-      }
-      const ColdEntry& entry = *it->second;
-      if (!entry.persisted) {
-        for (const auto& [chunk_key, chunk_bytes] : entry.buffer) {
-          if (chunk_key.chunk_index == key.chunk_index &&
-              chunk_key.level_id == key.level_id) {
-            return chunk_bytes;  // copy out of the pending buffer
-          }
-        }
-        return std::nullopt;
-      }
+      return std::nullopt;
     }
+    if (!it->second->persisted) {
+      std::optional<std::vector<uint8_t>> found;
+      for (const auto& [chunk_key, chunk_bytes] : it->second->buffer) {
+        if (chunk_key.chunk_index == key.chunk_index &&
+            chunk_key.level_id == key.level_id) {
+          found = chunk_bytes;  // copy out of the pending buffer
+          break;
+        }
+      }
+      cold_mu_.unlock();
+      return found;
+    }
+    cold_mu_.unlock();
     if (auto from_cold = cold_backend_->Get(key)) return from_cold;
     // The files vanished between the manifest check and the read: a
     // concurrent promotion erased them after copying the context into the
@@ -745,13 +753,15 @@ bool TieredKVStore::ContainsContext(const std::string& context_id) const {
   bool retried = false;
   for (;;) {
     if (hot_->ContainsContext(context_id)) return true;
-    std::unique_lock<std::mutex> lock(cold_mu_);
+    cold_mu_.lock();
     if (promoting_.count(context_id) > 0) {
-      promote_cv_.wait(lock,
-                       [&] { return promoting_.count(context_id) == 0; });
+      while (promoting_.count(context_id) > 0) promote_cv_.Wait(cold_mu_);
+      cold_mu_.unlock();
       continue;  // promoted (or backed out): re-check the hot tier
     }
-    if (cold_.count(context_id) > 0) return true;
+    const bool in_cold = cold_.count(context_id) > 0;
+    cold_mu_.unlock();
+    if (in_cold) return true;
     // A racing promotion can have completed wholesale between the hot check
     // and here; one clean retry of both tiers settles it.
     if (retried) return false;
@@ -763,7 +773,7 @@ void TieredKVStore::EraseContext(const std::string& context_id) {
   hot_->EraseContext(context_id);
   bool found = false;
   {
-    std::lock_guard<std::mutex> lock(cold_mu_);
+    MutexLock lock(cold_mu_);
     const auto it = cold_.find(context_id);
     if (it != cold_.end()) {
       found = true;
@@ -779,7 +789,7 @@ void TieredKVStore::EraseContext(const std::string& context_id) {
 uint64_t TieredKVStore::TotalBytes() const {
   uint64_t cold = 0;
   {
-    std::lock_guard<std::mutex> lock(cold_mu_);
+    MutexLock lock(cold_mu_);
     cold = cold_bytes_;
   }
   return hot_->TotalBytes() + cold;
@@ -788,7 +798,7 @@ uint64_t TieredKVStore::TotalBytes() const {
 uint64_t TieredKVStore::ContextBytes(const std::string& context_id) const {
   uint64_t cold = 0;
   {
-    std::lock_guard<std::mutex> lock(cold_mu_);
+    MutexLock lock(cold_mu_);
     const auto it = cold_.find(context_id);
     if (it != cold_.end()) cold = it->second->bytes;
   }
@@ -826,7 +836,7 @@ TieredKVStore::Stats TieredKVStore::stats() const {
   s.hot_tier = hot_->stats();
   s.hot_bytes = s.hot_tier.stored_bytes;
   {
-    std::lock_guard<std::mutex> lock(cold_mu_);
+    MutexLock lock(cold_mu_);
     s.cold_bytes = cold_bytes_;
     s.pending_demotion_bytes = pending_demotion_bytes_;
   }

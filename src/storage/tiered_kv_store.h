@@ -50,20 +50,19 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/cache_tier.h"
 #include "storage/kv_store.h"
 #include "storage/sharded_kv_store.h"
@@ -166,6 +165,12 @@ class TieredKVStore final : public KVStore, public CacheTier {
   const std::filesystem::path& cold_root() const { return opts_.cold_root; }
 
  private:
+  // All ColdEntry fields are protected by the owning store's cold_mu_, with
+  // one deliberate exception the analysis cannot express on a nested struct
+  // (guarded_by cannot name an outer object's member): `buffer` is READ
+  // without the lock by the background writer while `writing` is true —
+  // every mutating path checks `writing` under cold_mu_ first (copy instead
+  // of steal), so the unlocked read races with nothing.
   struct ColdEntry {
     // (chunk_index, level_id) -> serialized size; fixed at demotion time.
     std::map<std::pair<uint32_t, int32_t>, uint32_t> chunk_bytes;
@@ -187,14 +192,16 @@ class TieredKVStore final : public KVStore, public CacheTier {
   void OnHotEviction(ShardedKVStore::EvictedContext&& victim);
   // Caller holds cold_mu_. Appends ids whose on-disk bytes must be removed.
   void EnforceColdCapacityLocked(const std::string* keep,
-                                 std::vector<std::string>* erase_ids);
+                                 std::vector<std::string>* erase_ids)
+      CG_REQUIRES(cold_mu_);
   // Caller holds cold_mu_. Uncounts the entry from the pending-demotion cap
   // (idempotent).
-  void ReleasePendingLocked(ColdEntry& entry);
+  void ReleasePendingLocked(ColdEntry& entry) CG_REQUIRES(cold_mu_);
   // Caller holds cold_mu_. Drops oldest-uncommitted pending entries until
   // the pending buffer fits the cap; dropped ids are appended to erase_ids
   // (stale files of older incarnations still need reclaiming).
-  void EnforcePendingCapLocked(std::vector<std::string>* erase_ids);
+  void EnforcePendingCapLocked(std::vector<std::string>* erase_ids)
+      CG_REQUIRES(cold_mu_);
   void EnqueuePersist(const std::string& context_id, ColdEntryPtr entry);
   void EnqueueErase(std::string context_id);
   void EnqueueJob(std::function<void()> job);
@@ -207,28 +214,29 @@ class TieredKVStore final : public KVStore, public CacheTier {
   std::unique_ptr<ShardedKVStore> hot_;
   std::unique_ptr<FileKVStore> cold_backend_;
 
-  mutable std::mutex cold_mu_;
-  std::unordered_map<std::string, ColdEntryPtr> cold_;
-  uint64_t cold_bytes_ = 0;
+  mutable Mutex cold_mu_;
+  std::unordered_map<std::string, ColdEntryPtr> cold_ CG_GUARDED_BY(cold_mu_);
+  uint64_t cold_bytes_ CG_GUARDED_BY(cold_mu_) = 0;
   // Demotion backpressure state (cold_mu_): RAM-buffered bytes awaiting the
   // writer, and the FIFO the drop-oldest policy walks. Entries go stale in
   // place (persisted/claimed/dropped); the walk skips them lazily.
-  uint64_t pending_demotion_bytes_ = 0;
-  std::deque<std::pair<std::string, ColdEntryPtr>> pending_fifo_;
+  uint64_t pending_demotion_bytes_ CG_GUARDED_BY(cold_mu_) = 0;
+  std::deque<std::pair<std::string, ColdEntryPtr>> pending_fifo_
+      CG_GUARDED_BY(cold_mu_);
   // Contexts mid-promotion: a racing lookup for the same id waits for the
   // winner instead of reporting a spurious miss (the entry leaves the
   // manifest before the bytes reach the hot tier).
-  std::unordered_set<std::string> promoting_;
-  mutable std::condition_variable promote_cv_;  // const readers wait too
+  std::unordered_set<std::string> promoting_ CG_GUARDED_BY(cold_mu_);
+  mutable CondVar promote_cv_;  // const readers wait too
 
   // FIFO job queue + single-drainer discipline: at most one ThreadPool job
   // runs at a time, so demote/erase jobs for the same context execute in
   // submission order (an old incarnation's files are erased before a new
   // incarnation's are written). Never enqueue while holding cold_mu_.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> jobs_;
-  bool drainer_active_ = false;
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<std::function<void()>> jobs_ CG_GUARDED_BY(queue_mu_);
+  bool drainer_active_ CG_GUARDED_BY(queue_mu_) = false;
   // Set by persist/erase jobs; the drainer rewrites the on-disk manifest
   // once per queue drain (a crash between drains loses at most manifest
   // freshness — adoption falls back to the sentinel + round-trip rules).
