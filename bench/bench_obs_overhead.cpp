@@ -1,6 +1,6 @@
 // Observability overhead: what does the obs layer cost the serving path?
 //
-// Two measurements:
+// Three measurements:
 //   * macro path  — ns/site micro-benchmarks of the always-on metric macros
 //     (counter add, histogram record) and of a CG_TRACE_* site with the
 //     tracer runtime-disabled (one relaxed atomic load + branch). These are
@@ -8,15 +8,20 @@
 //   * cluster     — wall time of the same ClusterServer::Serve run (real
 //     codec encode/decode via assemble_kv + write-backs) with tracing
 //     disabled vs enabled, interleaved min-of-k so machine noise cancels.
+//   * telemetry   — the same run with the continuous-telemetry stack on
+//     (virtual-time sampler + burn-rate monitor, tracing off): its overhead
+//     shares the 3% budget, and its time-series JSON must be byte-identical
+//     across two fresh runs (the sampler is a pure function of the workload).
 //
 // Emits machine-readable JSON (default BENCH_obs_overhead.json) so CI can
 // archive the trajectory.
 //
 // Flags:
-//   --quick       small run + loud assertions (CI gate): enabled-tracing
-//                 cluster overhead must stay under 3%, and the disabled
-//                 macro path under a per-site ns budget (~0% in any real
-//                 request's time).
+//   --quick       small run + loud assertions (CI gate): enabled-tracing and
+//                 enabled-telemetry cluster overheads must each stay under
+//                 3%, the sampler must be bit-deterministic, and the
+//                 disabled macro path under a per-site ns budget (~0% in any
+//                 real request's time).
 //   --out PATH    JSON output path.
 #include <algorithm>
 #include <chrono>
@@ -67,8 +72,12 @@ RequestTraceOptions TraceOpts(bool quick) {
 }
 
 // One full cluster run (fresh store so every rep does identical work);
-// returns the wall seconds spent inside Serve().
-double TimedServe(const RequestTraceOptions& topts, bool tracing) {
+// returns the wall seconds spent inside Serve(). With `telemetry`, the
+// virtual-time sampler + SLO monitor run (tracing stays as asked) and the
+// resulting time-series JSON is appended to *timeseries_json when non-null.
+double TimedServe(const RequestTraceOptions& topts, bool tracing,
+                  bool telemetry = false,
+                  std::string* timeseries_json = nullptr) {
   auto store = std::make_shared<ShardedKVStore>(
       ShardedKVStore::Options{.num_shards = 2, .capacity_bytes = 0});
   Engine engine(bench::FastEngineOptions("mistral-7b"), store);
@@ -76,6 +85,7 @@ double TimedServe(const RequestTraceOptions& topts, bool tracing) {
   copts.num_workers = 4;
   copts.assemble_kv = true;  // hits really decode their delivered bitstreams
   copts.write_back_on_miss = true;
+  if (telemetry) copts.telemetry.sample_period_s = 0.25;
   ClusterServer server(engine, store, BandwidthTrace::Constant(3.0), copts);
   server.Prestore(topts);
 
@@ -104,6 +114,20 @@ double TimedServe(const RequestTraceOptions& topts, bool tracing) {
     std::exit(1);
   }
 #endif
+  if (telemetry) {
+    const obs::TimeSeriesCollector* series = server.timeseries();
+    if (series == nullptr || series->windows().empty()) {
+      std::fprintf(stderr, "FAIL: telemetry enabled but no windows sampled\n");
+      std::exit(1);
+    }
+    if (timeseries_json != nullptr) {
+      obs::JsonWriter w;
+      w.BeginObject();
+      series->ToJson(w);
+      w.EndObject();
+      *timeseries_json = w.str();
+    }
+  }
   return elapsed;
 }
 
@@ -152,20 +176,34 @@ int main(int argc, char** argv) {
   // allocator warm, calibration caches) that would otherwise land on
   // whichever mode runs first.
   TimedServe(topts, /*tracing=*/false);
-  std::vector<double> off_s, on_s;
+  std::vector<double> off_s, on_s, telem_s;
   for (size_t r = 0; r < reps; ++r) {
     off_s.push_back(TimedServe(topts, /*tracing=*/false));
     on_s.push_back(TimedServe(topts, /*tracing=*/true));
+    telem_s.push_back(
+        TimedServe(topts, /*tracing=*/false, /*telemetry=*/true));
   }
   const double off_min = *std::min_element(off_s.begin(), off_s.end());
   const double on_min = *std::min_element(on_s.begin(), on_s.end());
+  const double telem_min = *std::min_element(telem_s.begin(), telem_s.end());
   const double overhead = on_min / off_min - 1.0;
+  const double telem_overhead = telem_min / off_min - 1.0;
 
   std::printf("\ncluster serve (%zu requests, min of %zu):\n",
               topts.num_requests, reps);
-  std::printf("  tracing off  %.3f s\n", off_min);
-  std::printf("  tracing on   %.3f s\n", on_min);
-  std::printf("  overhead     %+.2f%%\n", 100.0 * overhead);
+  std::printf("  tracing off    %.3f s\n", off_min);
+  std::printf("  tracing on     %.3f s  (%+.2f%%)\n", on_min,
+              100.0 * overhead);
+  std::printf("  telemetry on   %.3f s  (%+.2f%%)\n", telem_min,
+              100.0 * telem_overhead);
+
+  // ---- sampler determinism: two fresh runs, byte-identical series --------
+  std::string series_a, series_b;
+  TimedServe(topts, /*tracing=*/false, /*telemetry=*/true, &series_a);
+  TimedServe(topts, /*tracing=*/false, /*telemetry=*/true, &series_b);
+  const bool series_deterministic = !series_a.empty() && series_a == series_b;
+  std::printf("  time-series JSON: %zu bytes, replay %s\n", series_a.size(),
+              series_deterministic ? "byte-identical" : "DIVERGED");
 
   // ---- machine-readable JSON --------------------------------------------
   {
@@ -185,9 +223,16 @@ int main(int argc, char** argv) {
     w.BeginArray("serve_on_s");
     for (double v : on_s) w.Value(v, 4);
     w.EndArray();
+    w.BeginArray("serve_telemetry_s");
+    for (double v : telem_s) w.Value(v, 4);
+    w.EndArray();
     w.Field("serve_off_min_s", off_min, 4);
     w.Field("serve_on_min_s", on_min, 4);
+    w.Field("serve_telemetry_min_s", telem_min, 4);
     w.Field("tracing_overhead_frac", overhead, 5);
+    w.Field("telemetry_overhead_frac", telem_overhead, 5);
+    w.Field("timeseries_bytes", static_cast<uint64_t>(series_a.size()));
+    w.Field("timeseries_deterministic", series_deterministic);
     w.EndObject();
     if (w.WriteFile(out_path)) {
       std::printf("wrote %s\n", out_path.c_str());
@@ -223,10 +268,24 @@ int main(int argc, char** argv) {
                    100.0 * overhead);
       ok = false;
     }
+    if (telem_overhead > 0.03) {
+      std::fprintf(stderr,
+                   "FAIL: telemetry-enabled cluster overhead %.2f%% > 3%%\n",
+                   100.0 * telem_overhead);
+      ok = false;
+    }
+    if (!series_deterministic) {
+      std::fprintf(stderr,
+                   "FAIL: time-series JSON diverged across replays "
+                   "(%zu vs %zu bytes)\n",
+                   series_a.size(), series_b.size());
+      ok = false;
+    }
     if (!ok) return 1;
-    std::printf("quick gate: OK (tracing overhead %+.2f%%, macro sites "
-                "%.1f/%.1f/%.1f ns)\n",
-                100.0 * overhead, counter_ns, hist_ns, trace_off_ns);
+    std::printf("quick gate: OK (tracing %+.2f%%, telemetry %+.2f%%, "
+                "sampler deterministic, macro sites %.1f/%.1f/%.1f ns)\n",
+                100.0 * overhead, 100.0 * telem_overhead, counter_ns, hist_ns,
+                trace_off_ns);
   }
   return 0;
 }

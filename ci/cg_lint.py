@@ -71,7 +71,8 @@ SLEEP_PATTERN = re.compile(r"\bsleep_(?:for|until)\s*\(")
 PIN_PATTERN = re.compile(r"(?:->|\.)(?:Pin|Unpin)\s*\(")
 
 METRIC_MACROS = ("CG_METRIC_COUNT", "CG_METRIC_GAUGE_SET",
-                 "CG_METRIC_GAUGE_ADD", "CG_METRIC_HIST")
+                 "CG_METRIC_GAUGE_ADD", "CG_METRIC_GAUGE_MAX",
+                 "CG_METRIC_HIST")
 TRACE_MACROS = ("CG_TRACE_SPAN", "CG_TRACE_INSTANT", "CG_TRACE_COUNTER",
                 "CG_TRACE_VSPAN", "CG_TRACE_VINSTANT")
 

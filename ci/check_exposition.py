@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""Validate a cachegen Prometheus text-format exposition (version 0.0.4).
+
+Checks (all hard failures):
+  * the file is UTF-8, newline-terminated, and every line is either a
+    `# HELP <family> <text>` / `# TYPE <family> <type>` comment or a sample
+    `<name>[{le="..."}] <value>`;
+  * every family is declared exactly once, HELP before TYPE before the
+    samples, with all of its samples contiguous, and every sample belongs to
+    a declared family;
+  * the TYPE is one of counter, gauge, or histogram;
+  * family and sample names are legal Prometheus metric names;
+  * counter families end in `_total`, carry exactly one sample, and the
+    value is a non-negative finite number;
+  * gauge families carry exactly one sample with a finite value;
+  * histogram families are a `_bucket{le="..."}` series with STRICTLY
+    increasing le bounds and non-decreasing cumulative counts, terminated by
+    the mandatory `le="+Inf"` bucket, followed by `_sum` (non-negative) and
+    `_count` (== the +Inf bucket's value);
+  * with --names src/obs/names.h, every family stem (the counter family
+    minus `_total`) must be the sanitization ("cachegen_" prefix,
+    non-[a-zA-Z0-9_:] -> '_') of a name in the metric catalog — an
+    exposition can never carry a series the repo does not document.
+
+Every failure is a single "FAIL: ..." line on stderr and exit code 1 — no
+tracebacks, whatever shape the input file is in.
+
+Usage: check_exposition.py METRICS.prom [--names NAMES_H]
+"""
+
+import argparse
+import math
+import re
+import sys
+
+VALID_TYPES = {"counter", "gauge", "histogram"}
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{le="(?P<le>[^"]*)"\})?'
+    r" (?P<value>\S+)$"
+)
+
+
+class ExpositionError(Exception):
+    """A validation failure: message only, rendered as one FAIL line."""
+
+
+def fail(msg):
+    raise ExpositionError(msg)
+
+
+def sanitize(name):
+    """The exposition writer's name mapping (src/obs/exposition.cpp)."""
+    return "cachegen_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def load_metric_catalog(names_path):
+    """Parse the metric catalog from src/obs/names.h: the string literals
+    between the cg-lint metric-catalog markers, sanitized the way the
+    exposition writer sanitizes them."""
+    try:
+        text = open(names_path, encoding="utf-8").read()
+    except OSError as e:
+        fail(f"cannot read names header {names_path}: {e}")
+    m = re.search(
+        r"cg-lint: metric-catalog-begin(.*?)cg-lint: metric-catalog-end",
+        text,
+        re.S,
+    )
+    if not m:
+        fail(f"{names_path} has no cg-lint metric-catalog markers")
+    names = re.findall(r'"([^"]+)"', m.group(1))
+    if not names:
+        fail(f"{names_path} metric catalog is empty")
+    return {sanitize(n) for n in names}
+
+
+def parse_value(text, what):
+    try:
+        v = float(text)
+    except ValueError:
+        fail(f"{what}: unparseable value {text!r}")
+    if math.isnan(v):
+        fail(f"{what}: value is NaN")
+    return v
+
+
+def parse_le(text, what):
+    if text == "+Inf":
+        return math.inf
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{what}: unparseable le bound {text!r}")
+
+
+class Family:
+    def __init__(self, name, help_line_no):
+        self.name = name
+        self.help_line_no = help_line_no
+        self.type = None
+        self.samples = []  # (sample_name, le_or_None, value, line_no)
+
+
+def check(path, catalog=None):
+    try:
+        with open(path, "rb") as f:
+            raw = f.read()
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as e:
+        fail(f"{path} is not UTF-8: {e}")
+    if not text:
+        fail(f"{path} is empty")
+    if not text.endswith("\n"):
+        fail(f"{path} does not end with a newline")
+
+    families = {}  # family name -> Family
+    current = None  # the family whose block we are inside
+
+    def family_for_sample(name):
+        """The declared family a sample name belongs to."""
+        if name in families and families[name].type in ("counter", "gauge"):
+            return families[name]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                stem = name[: -len(suffix)]
+                fam = families.get(stem)
+                if fam is not None and fam.type == "histogram":
+                    return fam
+        return None
+
+    for line_no, line in enumerate(text.splitlines(), 1):
+        where = f"{path}:{line_no}"
+        if not line:
+            fail(f"{where}: blank line")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in (
+                "HELP",
+                "TYPE",
+            ):
+                fail(f"{where}: comment is neither '# HELP' nor '# TYPE'")
+            kind, fam_name = parts[1], parts[2]
+            if not NAME_RE.match(fam_name):
+                fail(f"{where}: illegal family name {fam_name!r}")
+            if kind == "HELP":
+                if len(parts) != 4 or not parts[3]:
+                    fail(f"{where}: HELP for {fam_name} has no text")
+                if fam_name in families:
+                    fail(f"{where}: duplicate HELP for family {fam_name}")
+                if current is not None and current.type is None:
+                    fail(
+                        f"{where}: family {current.name} has HELP but no TYPE"
+                    )
+                if current is not None and not current.samples:
+                    fail(f"{where}: family {current.name} has no samples")
+                current = families[fam_name] = Family(fam_name, line_no)
+            else:  # TYPE
+                if len(parts) != 4:
+                    fail(f"{where}: TYPE for {fam_name} has no type")
+                if current is None or current.name != fam_name:
+                    fail(
+                        f"{where}: TYPE for {fam_name} does not follow its "
+                        f"HELP line"
+                    )
+                if current.type is not None:
+                    fail(f"{where}: duplicate TYPE for family {fam_name}")
+                if parts[3] not in VALID_TYPES:
+                    fail(
+                        f"{where}: family {fam_name} has type {parts[3]!r} "
+                        f"(want one of {sorted(VALID_TYPES)})"
+                    )
+                current.type = parts[3]
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{where}: unparseable sample line {line!r}")
+        name = m.group("name")
+        fam = family_for_sample(name)
+        if fam is None:
+            fail(f"{where}: sample {name} has no preceding HELP/TYPE family")
+        if fam is not current:
+            fail(
+                f"{where}: sample {name} of family {fam.name} is not "
+                f"contiguous with its family block"
+            )
+        value = parse_value(m.group("value"), f"{where}: {name}")
+        fam.samples.append((name, m.group("le"), value, line_no))
+
+    if current is not None and current.type is None:
+        fail(f"{path}: family {current.name} has HELP but no TYPE")
+    if current is not None and not current.samples:
+        fail(f"{path}: family {current.name} has no samples")
+    if not families:
+        fail(f"{path}: no metric families")
+
+    histograms = 0
+    for fam in families.values():
+        what = f"family {fam.name}"
+        if fam.type in ("counter", "gauge"):
+            if len(fam.samples) != 1:
+                fail(f"{what}: {len(fam.samples)} samples (want exactly 1)")
+            name, le, value, _ = fam.samples[0]
+            if le is not None:
+                fail(f"{what}: unexpected le label on a {fam.type}")
+            if name != fam.name:
+                fail(f"{what}: sample named {name}")
+            if math.isinf(value):
+                fail(f"{what}: non-finite value")
+            if fam.type == "counter":
+                if not fam.name.endswith("_total"):
+                    fail(f"{what}: counter family does not end in _total")
+                if value < 0:
+                    fail(f"{what}: negative counter value {value}")
+            continue
+
+        # Histogram: _bucket series, then _sum, then _count.
+        histograms += 1
+        buckets = []
+        tail = []
+        for name, le, value, line_no in fam.samples:
+            if name == fam.name + "_bucket":
+                if tail:
+                    fail(f"{what}: bucket after _sum/_count")
+                if le is None:
+                    fail(f"{what}: bucket without an le label")
+                buckets.append((parse_le(le, what), value, le))
+            elif name in (fam.name + "_sum", fam.name + "_count"):
+                if le is not None:
+                    fail(f"{what}: le label on {name}")
+                tail.append((name, value))
+            else:
+                fail(f"{what}: unexpected histogram sample {name}")
+        if not buckets:
+            fail(f"{what}: histogram with no buckets")
+        for (lo, c0, _), (hi, c1, raw) in zip(buckets, buckets[1:]):
+            if hi <= lo:
+                fail(f"{what}: le bounds not strictly increasing at {raw!r}")
+            if c1 < c0:
+                fail(
+                    f"{what}: cumulative bucket counts decrease at "
+                    f'le="{raw}" ({c1} < {c0})'
+                )
+        if not math.isinf(buckets[-1][0]):
+            fail(f"{what}: last bucket is not le=\"+Inf\"")
+        expected_tail = [fam.name + "_sum", fam.name + "_count"]
+        if [n for n, _ in tail] != expected_tail:
+            fail(
+                f"{what}: histogram tail is {[n for n, _ in tail]} "
+                f"(want {expected_tail})"
+            )
+        if tail[0][1] < 0:
+            fail(f"{what}: negative _sum")
+        if tail[1][1] != buckets[-1][1]:
+            fail(
+                f"{what}: _count {tail[1][1]} != +Inf bucket "
+                f"{buckets[-1][1]}"
+            )
+
+    if catalog is not None:
+        for fam in families.values():
+            stem = fam.name
+            if fam.type == "counter" and stem.endswith("_total"):
+                stem = stem[: -len("_total")]
+            if stem not in catalog:
+                fail(
+                    f"family {fam.name}: stem {stem} is not the "
+                    f"sanitization of any name in the metric catalog"
+                )
+
+    print(
+        f"OK: {len(families)} families ({histograms} histograms), "
+        f"{sum(len(f.samples) for f in families.values())} samples"
+        + ("" if catalog is None else ", all stems in the metric catalog")
+    )
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("exposition")
+    ap.add_argument(
+        "--names",
+        default=None,
+        metavar="NAMES_H",
+        help="path to src/obs/names.h; when given, every family stem must "
+        "be the sanitization of a metric-catalog name",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        catalog = load_metric_catalog(args.names) if args.names else None
+        check(args.exposition, catalog)
+    except ExpositionError as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    except Exception as e:  # malformed input must never traceback
+        print(
+            f"FAIL: unexpected error validating {args.exposition}: {e!r}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

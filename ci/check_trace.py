@@ -13,7 +13,10 @@ Checks (all hard failures):
   * at least one event exists for every required subsystem category;
   * at least one cluster-virtual-time request track (pid 2) carries the
     full request lifecycle: queue_wait, kv_stream, chunk_gpu_decode, and
-    write_back on a single timeline;
+    write_back on a single timeline (with --incident, the lifecycle names
+    must instead appear across the union of request tracks — a flight-
+    recorder excerpt keeps complete per-request tracks, but its window need
+    not contain every scenario class on one request);
   * every pid-2 track that carries "cluster.event" FSM instants is a legal
     event sequence: exactly one "admit" and it comes first, exactly one
     "write_back_committed" and it comes last, at least one
@@ -33,6 +36,7 @@ Every failure is a single "FAIL: ..." line on stderr and exit code 1 — no
 tracebacks, whatever shape the input file is in.
 
 Usage: check_trace.py TRACE.json [--require-cat CAT ...] [--names NAMES_H]
+                      [--incident]
 """
 
 import argparse
@@ -74,7 +78,7 @@ def load_cat_catalog(names_path):
     return catalog
 
 
-def check(trace_path, required_cats, cat_catalog=None):
+def check(trace_path, required_cats, cat_catalog=None, incident=False):
     try:
         with open(trace_path) as f:
             doc = json.load(f)
@@ -225,7 +229,21 @@ def check(trace_path, required_cats, cat_catalog=None):
     lifecycle_tracks = [
         tid for tid, names in virtual_names.items() if LIFECYCLE <= names
     ]
-    if not lifecycle_tracks:
+    if incident:
+        # A flight-recorder excerpt keeps complete request tracks, but the
+        # window may not include every scenario class on one request — the
+        # lifecycle must still be covered by the excerpt as a whole.
+        union = set()
+        for names in virtual_names.values():
+            union |= names
+        missing = LIFECYCLE - union
+        if missing:
+            fail(
+                f"incident excerpt never shows lifecycle name(s) "
+                f"{sorted(missing)} on any pid-2 track; per-track names: "
+                f"{ {t: sorted(n) for t, n in virtual_names.items()} }"
+            )
+    elif not lifecycle_tracks:
         fail(
             "no pid-2 request track carries the full lifecycle "
             f"{sorted(LIFECYCLE)}; per-track names: "
@@ -259,12 +277,19 @@ def main(argv=None):
         help="path to src/obs/names.h; when given, every event category "
         "must appear in its trace-cat catalog",
     )
+    ap.add_argument(
+        "--incident",
+        action="store_true",
+        help="the trace is a flight-recorder window excerpt: require the "
+        "request lifecycle across the union of pid-2 tracks instead of on "
+        "a single track",
+    )
     args = ap.parse_args(argv)
     required_cats = args.require_cat or DEFAULT_REQUIRED_CATS
 
     try:
         catalog = load_cat_catalog(args.names) if args.names else None
-        check(args.trace, required_cats, catalog)
+        check(args.trace, required_cats, catalog, incident=args.incident)
     except TraceError as e:
         print(f"FAIL: {e}", file=sys.stderr)
         return 1

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Pytest-free self-test for check_exposition.py, invoked from CI.
+
+Covers the failure-mode contract (missing / empty / truncated / binary
+files must produce a single FAIL line and exit 1, never a traceback), the
+HELP/TYPE/sample grammar, the per-type value rules, the histogram
+cumulative-bucket contract, and the --names catalog validation against
+src/obs/names.h. Runs with nothing but the standard library:
+`python3 ci/test_check_exposition.py`.
+"""
+
+import io
+import os
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_exposition as gate  # noqa: E402
+
+COUNTER = """\
+# HELP cachegen_cluster_requests_total cachegen counter cluster.requests
+# TYPE cachegen_cluster_requests_total counter
+cachegen_cluster_requests_total 90
+"""
+
+GAUGE = """\
+# HELP cachegen_cluster_in_flight cachegen gauge cluster.in_flight
+# TYPE cachegen_cluster_in_flight gauge
+cachegen_cluster_in_flight 0
+"""
+
+HISTOGRAM = """\
+# HELP cachegen_cluster_ttft_us cachegen histogram cluster.ttft_us
+# TYPE cachegen_cluster_ttft_us histogram
+cachegen_cluster_ttft_us_bucket{le="999"} 10
+cachegen_cluster_ttft_us_bucket{le="9999"} 25
+cachegen_cluster_ttft_us_bucket{le="+Inf"} 30
+cachegen_cluster_ttft_us_sum 123456
+cachegen_cluster_ttft_us_count 30
+"""
+
+GOOD = COUNTER + GAUGE + HISTOGRAM
+
+
+def run(path, extra=None):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = gate.main([path] + (extra or []))
+    return code, out.getvalue(), err.getvalue()
+
+
+def one_line_fail(err):
+    lines = [ln for ln in err.strip().splitlines() if ln]
+    return len(lines) == 1 and lines[0].startswith("FAIL:")
+
+
+def main():
+    checks = 0
+    names_h = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, "src", "obs", "names.h")
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, content, mode="w"):
+            path = os.path.join(tmp, name)
+            with open(path, mode) as f:
+                f.write(content)
+            return path
+
+        # 1. A well-formed exposition passes, with and without --names.
+        good = write("good.prom", GOOD)
+        code, out, err = run(good)
+        assert code == 0, f"valid exposition must exit 0, got {code}: {err}"
+        assert "OK:" in out and "3 families" in out, out
+        code, out, _ = run(good, ["--names", names_h])
+        assert code == 0 and "metric catalog" in out, (code, out)
+        checks += 1
+
+        # 2. Missing / empty / unterminated / binary files: one FAIL line,
+        #    exit 1, no traceback.
+        for path in (
+            os.path.join(tmp, "nope.prom"),
+            write("empty.prom", ""),
+            write("noeol.prom", COUNTER[:-1]),
+            write("binary.prom", b"\xff\xfe\x00\x01", mode="wb"),
+        ):
+            code, _, err = run(path)
+            assert code == 1, f"{path}: must exit 1, got {code}"
+            assert one_line_fail(err), f"{path}: want one FAIL line, got {err!r}"
+            assert "Traceback" not in err, err
+        checks += 1
+
+        # 3. Grammar violations: a sample before any family, a TYPE without
+        #    its HELP, an unknown comment keyword, a blank line, an
+        #    unparseable sample, and a NaN value.
+        for name, content in (
+            ("orphan.prom", "cachegen_cluster_requests_total 90\n"),
+            ("typefirst.prom",
+             "# TYPE cachegen_cluster_requests_total counter\n"
+             "cachegen_cluster_requests_total 90\n"),
+            ("comment.prom", "# NOTE hello\n" + COUNTER),
+            ("blank.prom", COUNTER + "\n" + GAUGE),
+            ("badsample.prom", COUNTER.replace(" 90", " 90 extra")),
+            ("nan.prom", COUNTER.replace(" 90", " NaN")),
+        ):
+            code, _, err = run(write(name, content))
+            assert code == 1, f"{name}: must exit 1, got {code}"
+            assert one_line_fail(err), f"{name}: got {err!r}"
+        checks += 1
+
+        # 4. Family-level rules: unknown TYPE, duplicate HELP, a family with
+        #    no samples, and interleaved (non-contiguous) families.
+        for name, content in (
+            ("badtype.prom", COUNTER.replace(" counter", " summary")),
+            ("dup.prom", GOOD + COUNTER),
+            ("nosamples.prom", COUNTER +
+             "# HELP cachegen_cluster_misses_total cachegen counter x\n"
+             "# TYPE cachegen_cluster_misses_total counter\n"),
+            ("interleave.prom", COUNTER + GAUGE +
+             "cachegen_cluster_requests_total 91\n"),
+        ):
+            code, _, err = run(write(name, content))
+            assert code == 1, f"{name}: must exit 1, got {code}"
+            assert one_line_fail(err), f"{name}: got {err!r}"
+        checks += 1
+
+        # 5. Counter rules: family must end _total, value must be >= 0,
+        #    exactly one sample.
+        no_total = COUNTER.replace("_total", "")
+        for name, content in (
+            ("nototal.prom", no_total),
+            ("negctr.prom", COUNTER.replace(" 90", " -4")),
+            ("twoctr.prom",
+             COUNTER + "cachegen_cluster_requests_total 91\n"),
+        ):
+            code, _, err = run(write(name, content))
+            assert code == 1, f"{name}: must exit 1, got {code}"
+            assert one_line_fail(err), f"{name}: got {err!r}"
+        checks += 1
+
+        # 6. Histogram rules: le bounds strictly increasing, cumulative
+        #    counts non-decreasing, terminal +Inf mandatory, _count must
+        #    equal the +Inf bucket, tail order is _sum then _count.
+        for name, content in (
+            ("ledup.prom", HISTOGRAM.replace('le="9999"', 'le="999"')),
+            ("decr.prom", HISTOGRAM.replace('le="9999"} 25', 'le="9999"} 5')),
+            ("noinf.prom",
+             HISTOGRAM.replace('cachegen_cluster_ttft_us_bucket{le="+Inf"} 30\n',
+                               "")),
+            ("countmismatch.prom",
+             HISTOGRAM.replace("_count 30", "_count 29")),
+            ("nosum.prom",
+             HISTOGRAM.replace("cachegen_cluster_ttft_us_sum 123456\n", "")),
+            ("tailorder.prom",
+             HISTOGRAM.replace(
+                 "cachegen_cluster_ttft_us_sum 123456\n"
+                 "cachegen_cluster_ttft_us_count 30\n",
+                 "cachegen_cluster_ttft_us_count 30\n"
+                 "cachegen_cluster_ttft_us_sum 123456\n")),
+            ("latebucket.prom",
+             HISTOGRAM + 'cachegen_cluster_ttft_us_bucket{le="+Inf"} 30\n'),
+        ):
+            code, _, err = run(write(name, content))
+            assert code == 1, f"{name}: must exit 1, got {code}"
+            assert one_line_fail(err), f"{name}: got {err!r}"
+        checks += 1
+
+        # 7. --names: a family that is not the sanitization of any catalog
+        #    name fails; missing or marker-less catalog files fail with one
+        #    line; without --names the same family passes.
+        rogue = GOOD + (
+            "# HELP cachegen_made_up_series_total cachegen counter made.up\n"
+            "# TYPE cachegen_made_up_series_total counter\n"
+            "cachegen_made_up_series_total 1\n"
+        )
+        rogue_path = write("rogue.prom", rogue)
+        code, _, _ = run(rogue_path)
+        assert code == 0, "uncataloged family must pass without --names"
+        code, _, err = run(rogue_path, ["--names", names_h])
+        assert code == 1 and "cachegen_made_up_series" in err, (code, err)
+        assert one_line_fail(err), err
+        for bad in (os.path.join(tmp, "no-names.h"),
+                    write("unmarked.h", 'const char* x = "cluster";')):
+            code, _, err = run(good, ["--names", bad])
+            assert code == 1 and one_line_fail(err), (bad, code, err)
+        checks += 1
+
+    print(f"check_exposition self-test: {checks} checks OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -215,6 +215,33 @@ def main():
             assert code == 1 and one_line_fail(err), (bad, code, err)
         checks += 1
 
+        # 14. --incident: a window excerpt whose lifecycle is split across
+        #     two complete request tracks fails the default single-track
+        #     rule but passes --incident; a name missing from EVERY track
+        #     still fails --incident and is named.
+        hit = [e for e in lifecycle_track(tid=7)
+               if e["name"] != "write_back"]
+        miss = [e for e in lifecycle_track(tid=8, base=1000)
+                if e["name"] != "chunk_gpu_decode"]
+        doc = base_doc()
+        doc["traceEvents"] = [e for e in doc["traceEvents"]
+                              if e.get("pid") != 2] + hit + miss
+        split = write("split.json", doc)
+        code, _, err = run(split)
+        assert code == 1 and "full lifecycle" in err, (code, err)
+        code, out, err = run(split, ["--incident"])
+        assert code == 0, f"--incident must accept a split lifecycle: {err}"
+        # (write_back was also the only storage event, so pin the category
+        # list to what the excerpt still carries — CI does the same for
+        # incident artifacts.)
+        doc["traceEvents"] = [e for e in doc["traceEvents"]
+                              if e["name"] != "write_back"]
+        code, _, err = run(write("nowb.json", doc),
+                           ["--incident", "--require-cat", "cluster"])
+        assert code == 1 and "write_back" in err, (code, err)
+        assert one_line_fail(err), err
+        checks += 1
+
     print(f"check_trace self-test: {checks} checks OK")
     return 0
 

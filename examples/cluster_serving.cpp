@@ -26,10 +26,25 @@
 //                         JSON (load in https://ui.perfetto.dev); the
 //                         CACHEGEN_TRACE env var also enables recording
 //   --metrics-json PATH   write the run summary + every registered metric
+//   --serve-run DIR       deterministic continuous-telemetry run: a
+//                         shared-prefix workload with an overload phase is
+//                         served with the virtual-time sampler, burn-rate
+//                         monitor, and flight recorder enabled; writes
+//                         DIR/timeseries.json, DIR/alerts.json,
+//                         DIR/incident_<i>.json, and DIR/metrics.prom, and
+//                         fails loudly unless the violation rate rises in
+//                         the overload window, an OK->WARN->PAGE sequence
+//                         fired, and an incident was captured. Byte-identical
+//                         across replays (the CI double-replay gate).
+//   --serve-metrics PORT  serve live Prometheus exposition on
+//                         http://127.0.0.1:PORT/metrics (plus /healthz)
+//                         while the run executes; 0 picks an ephemeral port
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,52 +53,36 @@
 #include "cluster/cluster_server.h"
 #include "fabric/cache_fabric.h"
 #include "obs/export.h"
+#include "obs/exposition.h"
 #include "obs/trace.h"
 #include "prefix/prefix_cache.h"
 #include "workload/prefix_trace.h"
 
 using namespace cachegen;
 
-int main(int argc, char** argv) {
-  bool prefix_mode = false;
-  bool fabric_mode = false;
-  std::string trace_path;
-  std::string metrics_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--prefix") == 0) {
-      prefix_mode = true;
-    } else if (std::strcmp(argv[i], "--fabric") == 0) {
-      fabric_mode = true;
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
-      metrics_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--prefix] [--fabric] [--trace PATH] "
-                   "[--metrics-json PATH]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-  if (fabric_mode) prefix_mode = true;  // the fabric serves the prefix workload
-  if (!trace_path.empty()) obs::Tracer::Instance().SetEnabled(true);
+namespace {
 
-  Engine::Options eopts;
-  eopts.model_name = "mistral-7b";
-
-  // Per-process directory so concurrent invocations never share (or delete)
-  // each other's cold tier.
-  const auto cold_root =
-      std::filesystem::temp_directory_path() /
-      ("cachegen_example_cold_tier_" + std::to_string(::getpid()));
-  std::filesystem::remove_all(cold_root);
-
+// The serving tier arrangement both modes build: a 4-node fabric or a
+// prefix layer over one tiered store, plus the per-process cold root that
+// concurrent invocations must not share.
+struct TierSetup {
   std::shared_ptr<TieredKVStore> store;
   std::shared_ptr<PrefixCache> pc;
   std::shared_ptr<CacheFabric> fab;
   std::shared_ptr<CacheTier> tier;
   std::shared_ptr<KVStore> engine_store;
+  std::filesystem::path cold_root;
+};
+
+TierSetup MakeTier(bool fabric_mode, bool prefix_mode,
+                   const Engine::Options& eopts) {
+  TierSetup t;
+  // Per-process directory so concurrent invocations never share (or delete)
+  // each other's cold tier.
+  t.cold_root = std::filesystem::temp_directory_path() /
+                ("cachegen_example_cold_tier_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(t.cold_root);
+
   if (fabric_mode) {
     // 4 simulated cache nodes behind one tier: every node owns a hot/cold
     // tiered slice (under cold_root/node<i>) with its own prefix layer;
@@ -94,38 +93,286 @@ int main(int argc, char** argv) {
     fopts.num_nodes = 4;
     fopts.chunk_replicas = 2;
     fopts.node_store = {.num_shards = 2, .capacity_bytes = 16ull << 20};
-    fopts.cold_root = cold_root;
+    fopts.cold_root = t.cold_root;
     fopts.prefix_opts.chunk_tokens = eopts.chunk_tokens;
-    fab = std::make_shared<CacheFabric>(fopts);
-    tier = fab;
-    engine_store = fab;
-  } else {
-    TieredKVStore::Options sopts;
-    // A hot tier far below the pool's working set: the cold tier does real
-    // work. The prefix workload's unique-chunk working set is much larger, so
-    // its hot tier is bigger — big enough that recently shared families stay
-    // hot (full hot hits) while the tail still demotes (cold promotions).
-    sopts.hot = {.num_shards = 2,
-                 .capacity_bytes = prefix_mode ? 48ull << 20 : 8ull << 20};
-    sopts.cold_root = cold_root;
-    sopts.cold_capacity_bytes = 0;  // the cheap tier keeps everything
-    store = std::make_shared<TieredKVStore>(sopts);
+    t.fab = std::make_shared<CacheFabric>(fopts);
+    t.tier = t.fab;
+    t.engine_store = t.fab;
+    return t;
+  }
+  TieredKVStore::Options sopts;
+  // A hot tier far below the pool's working set: the cold tier does real
+  // work. The prefix workload's unique-chunk working set is much larger, so
+  // its hot tier is bigger — big enough that recently shared families stay
+  // hot (full hot hits) while the tail still demotes (cold promotions).
+  sopts.hot = {.num_shards = 2,
+               .capacity_bytes = prefix_mode ? 48ull << 20 : 8ull << 20};
+  sopts.cold_root = t.cold_root;
+  sopts.cold_capacity_bytes = 0;  // the cheap tier keeps everything
+  t.store = std::make_shared<TieredKVStore>(sopts);
 
-    // The prefix layer (when asked for) owns lookups above the tiered store:
-    // full hits pin through it, fresh family suffixes become partial-prefix
-    // hits against the shared chunks, and write-backs dedup into the content-
-    // addressed store.
-    tier = store;
-    engine_store = store;
-    if (prefix_mode) {
-      PrefixCache::Options popts;
-      popts.chunk_tokens = eopts.chunk_tokens;
-      pc = std::make_shared<PrefixCache>(store, popts);
-      tier = pc;
-      engine_store = pc;
+  // The prefix layer (when asked for) owns lookups above the tiered store:
+  // full hits pin through it, fresh family suffixes become partial-prefix
+  // hits against the shared chunks, and write-backs dedup into the content-
+  // addressed store.
+  t.tier = t.store;
+  t.engine_store = t.store;
+  if (prefix_mode) {
+    PrefixCache::Options popts;
+    popts.chunk_tokens = eopts.chunk_tokens;
+    t.pc = std::make_shared<PrefixCache>(t.store, popts);
+    t.tier = t.pc;
+    t.engine_store = t.pc;
+  }
+  return t;
+}
+
+// Shared-prefix workload options used by --prefix/--fabric and --serve-run.
+PrefixTraceOptions BasePrefixTrace() {
+  PrefixTraceOptions ptopts;
+  ptopts.num_requests = 24;
+  ptopts.arrival_rate_hz = 3.0;
+  ptopts.num_families = 2;
+  ptopts.prefix_tokens = 3000;
+  ptopts.suffix_min_tokens = 1500;
+  ptopts.suffix_max_tokens = 1500;
+  ptopts.suffixes_per_family = 4;
+  ptopts.shared_fraction = 0.7;
+  ptopts.slo_s = 2.5;
+  ptopts.seed = 0xD0C5;
+  return ptopts;
+}
+
+// --serve-run: a longer shared-prefix stream whose middle segment's arrival
+// gaps are compressed, so admission backlog builds and the SLO-violation
+// rate visibly rises, then drains. Pure function of nothing — the CI gate
+// replays it twice and compares artifact bytes.
+constexpr double kOverloadStartS = 10.0;
+constexpr double kOverloadEndS = 20.0;    // in pre-compression arrival time
+constexpr double kOverloadFactor = 10.0;  // arrival-rate multiplier
+
+std::vector<ClusterRequest> OverloadTrace(PrefixTraceOptions ptopts) {
+  ptopts.num_requests = 90;
+  std::vector<ClusterRequest> trace = SharedPrefixTrace(ptopts);
+  for (ClusterRequest& rq : trace) {
+    const double t = rq.arrival_s;
+    if (t < kOverloadStartS) continue;
+    if (t < kOverloadEndS) {
+      rq.arrival_s = kOverloadStartS + (t - kOverloadStartS) / kOverloadFactor;
+    } else {
+      rq.arrival_s = kOverloadStartS +
+                     (kOverloadEndS - kOverloadStartS) / kOverloadFactor +
+                     (t - kOverloadEndS);
     }
   }
-  Engine engine(eopts, engine_store);
+  return trace;
+}
+
+int RunServeRun(const std::string& dir_arg, bool fabric_mode) {
+  const std::filesystem::path dir(dir_arg);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  // Virtual-only artifacts must never lose events to ring wrap (which slot
+  // a drop-oldest ring evicts depends on wall-clock thread interleaving).
+  // Rings only reserve min(capacity, 1024) up front, so a large cap is free.
+  obs::Tracer::Instance().SetRingCapacity(1u << 20);
+  obs::Tracer::Instance().SetEnabled(true);
+
+  Engine::Options eopts;
+  eopts.model_name = "mistral-7b";
+  TierSetup ts = MakeTier(fabric_mode, /*prefix_mode=*/true, eopts);
+  Engine engine(eopts, ts.engine_store);
+
+  PrefixTraceOptions ptopts = BasePrefixTrace();
+  // An unqueued miss costs ~3.2 s TTFT on this path; a 4 s SLO keeps the
+  // steady phase healthy so violations are the overload backlog's doing.
+  ptopts.slo_s = 4.0;
+  ClusterServer::Options copts;
+  copts.num_workers = 4;
+  copts.policy = SchedulerPolicyKind::kSloDeadlineFirst;
+  copts.assemble_kv = false;  // keep the run light; pins release on completion
+  copts.default_slo_s = ptopts.slo_s;
+  copts.telemetry.sample_period_s = 0.5;
+  copts.telemetry.slo.fast_windows = 4;    // 2 s
+  copts.telemetry.slo.slow_windows = 12;   // 6 s
+  copts.telemetry.slo.error_budget = 0.1;  // 10% violations allowed
+  copts.telemetry.slo.warn_burn = 1.0;
+  copts.telemetry.slo.page_burn = 2.5;
+  copts.telemetry.slo.hold_windows = 4;
+  copts.telemetry.recorder.before_s = 3.0;
+  copts.telemetry.recorder.after_s = 1.0;
+  ClusterServer cluster(engine, ts.tier, BandwidthTrace::Constant(3.0), copts);
+
+  std::printf(
+      "== serve-run (%s): overload phase at %.0fx arrival rate from t=%.0fs "
+      "==\n",
+      fabric_mode ? "fabric" : "prefix", kOverloadFactor, kOverloadStartS);
+  std::vector<std::pair<std::string, ContextSpec>> seed;
+  for (size_t f = 0; f < ptopts.num_families; ++f) {
+    seed.emplace_back(PrefixFamilyContextId(f, 0),
+                      PrefixFamilySpec(ptopts, f, 0));
+  }
+  cluster.Prestore(seed);
+
+  const auto outcomes = cluster.Serve(OverloadTrace(ptopts));
+  const ClusterSummary s = Summarize(outcomes, ts.tier.get());
+  std::printf("%s\n", FormatSummary(s).c_str());
+
+  const obs::TimeSeriesCollector* series = cluster.timeseries();
+  const obs::SloMonitor* monitor = cluster.slo_monitor();
+  const obs::FlightRecorder* recorder = cluster.flight_recorder();
+  if (series == nullptr || monitor == nullptr || recorder == nullptr) {
+    std::fprintf(stderr, "FAIL: telemetry was not enabled\n");
+    return 1;
+  }
+
+  // (a) The per-window SLO-violation rate must visibly rise in the overload
+  // window relative to the steady phase before it.
+  const auto window_count = [](const obs::WindowRecord& win, const char* name) {
+    const auto it = win.counters.find(name);
+    return it == win.counters.end() ? uint64_t{0} : it->second;
+  };
+  uint64_t viol_before = 0;
+  uint64_t viol_overload = 0;
+  for (const obs::WindowRecord& win : series->windows()) {
+    const uint64_t v = window_count(win, "cluster.slo_violations");
+    if (win.end_s <= kOverloadStartS) {
+      viol_before += v;
+    } else if (win.start_s < kOverloadStartS + 6.0) {
+      viol_overload += v;
+    }
+  }
+  std::printf(
+      "telemetry: %zu windows, violations %llu steady / %llu overload, "
+      "%zu alert transitions, %zu incidents, final level %s\n",
+      series->windows().size(),
+      static_cast<unsigned long long>(viol_before),
+      static_cast<unsigned long long>(viol_overload),
+      monitor->alerts().size(), recorder->incidents().size(),
+      obs::AlertLevelName(monitor->level()));
+  if (viol_overload == 0 || viol_overload <= viol_before) {
+    std::fprintf(stderr,
+                 "FAIL: SLO-violation rate did not rise in the overload "
+                 "window (steady %llu, overload %llu)\n",
+                 static_cast<unsigned long long>(viol_before),
+                 static_cast<unsigned long long>(viol_overload));
+    return 1;
+  }
+
+  // (b) The alert log must show the full OK -> WARN -> PAGE escalation.
+  bool saw_warn = false;
+  bool saw_page = false;
+  for (const obs::AlertRecord& a : monitor->alerts()) {
+    if (a.from == obs::AlertLevel::kOk && a.to == obs::AlertLevel::kWarn) {
+      saw_warn = true;
+    }
+    if (saw_warn && a.to == obs::AlertLevel::kPage) saw_page = true;
+  }
+  if (!saw_warn || !saw_page) {
+    std::fprintf(stderr,
+                 "FAIL: expected an OK->WARN->PAGE sequence "
+                 "(saw_warn=%d saw_page=%d, %zu transitions)\n",
+                 saw_warn, saw_page, monitor->alerts().size());
+    return 1;
+  }
+
+  // (c) The PAGE must have produced an incident artifact.
+  if (recorder->incidents().empty()) {
+    std::fprintf(stderr, "FAIL: no incident captured on PAGE\n");
+    return 1;
+  }
+
+  ts.tier->Flush();
+
+  // Artifacts. The exposition omits wall-clock-measured series (codec
+  // timings, tracer ring high-water) and the worker-racy channel-depth
+  // gauges — every remaining value is a pure function of the workload, so
+  // the CI double-replay compares all four artifacts byte-for-byte.
+  bool ok = series->WriteJson(dir / "timeseries.json");
+  ok = monitor->WriteJson(dir / "alerts.json") && ok;
+  ok = recorder->WriteIncidents(dir) && ok;
+  obs::ExpositionOptions eo;
+  eo.exclude = {"codec.encode_us", "codec.decode_us",
+                "obs.trace.ring_highwater_events",
+                "cluster.queue.admission_depth",
+                "cluster.queue.continuation_depth"};
+  ok = obs::WritePrometheusText(dir / "metrics.prom", eo) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: could not write artifacts under %s\n",
+                 dir_arg.c_str());
+    return 1;
+  }
+  std::printf("wrote timeseries.json, alerts.json, %zu incident file(s), "
+              "metrics.prom under %s\n",
+              recorder->incidents().size(), dir_arg.c_str());
+
+  std::filesystem::remove_all(ts.cold_root);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool prefix_mode = false;
+  bool fabric_mode = false;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string serve_run_dir;
+  int serve_metrics_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--prefix") == 0) {
+      prefix_mode = true;
+    } else if (std::strcmp(argv[i], "--fabric") == 0) {
+      fabric_mode = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve-run") == 0 && i + 1 < argc) {
+      serve_run_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve-metrics") == 0 && i + 1 < argc) {
+      serve_metrics_port = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--prefix] [--fabric] [--trace PATH] "
+                   "[--metrics-json PATH] [--serve-run DIR] "
+                   "[--serve-metrics PORT]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (fabric_mode) prefix_mode = true;  // the fabric serves the prefix workload
+  if (!trace_path.empty()) obs::Tracer::Instance().SetEnabled(true);
+
+  // Live exposition endpoint, if asked for: scrape-compatible with a real
+  // Prometheus, alive for the whole run.
+  std::optional<obs::MetricsHttpServer> http;
+  if (serve_metrics_port >= 0) {
+    http.emplace(obs::ExpositionOptions{});
+    if (!http->Start(static_cast<uint16_t>(serve_metrics_port))) {
+      std::fprintf(stderr, "cannot bind 127.0.0.1:%d for --serve-metrics\n",
+                   serve_metrics_port);
+      return 1;
+    }
+    std::printf("serving http://127.0.0.1:%u/metrics (and /healthz)\n",
+                static_cast<unsigned>(http->port()));
+  }
+
+  if (!serve_run_dir.empty()) {
+    const int rc = RunServeRun(serve_run_dir, fabric_mode);
+    if (http) http->Stop();
+    return rc;
+  }
+
+  Engine::Options eopts;
+  eopts.model_name = "mistral-7b";
+  TierSetup ts = MakeTier(fabric_mode, prefix_mode, eopts);
+  const std::shared_ptr<TieredKVStore>& store = ts.store;
+  const std::shared_ptr<PrefixCache>& pc = ts.pc;
+  const std::shared_ptr<CacheFabric>& fab = ts.fab;
+  const std::shared_ptr<CacheTier>& tier = ts.tier;
+  Engine engine(eopts, ts.engine_store);
 
   ClusterServer::Options copts;
   copts.num_workers = 4;
@@ -138,17 +385,7 @@ int main(int argc, char** argv) {
   std::vector<ClusterRequest> trace;
   double slo_s = 0.0;
   if (prefix_mode) {
-    PrefixTraceOptions ptopts;
-    ptopts.num_requests = 24;
-    ptopts.arrival_rate_hz = 3.0;
-    ptopts.num_families = 2;
-    ptopts.prefix_tokens = 3000;
-    ptopts.suffix_min_tokens = 1500;
-    ptopts.suffix_max_tokens = 1500;
-    ptopts.suffixes_per_family = 4;
-    ptopts.shared_fraction = 0.7;
-    ptopts.slo_s = 2.5;
-    ptopts.seed = 0xD0C5;
+    PrefixTraceOptions ptopts = BasePrefixTrace();
     slo_s = ptopts.slo_s;
     copts.default_slo_s = ptopts.slo_s;
 
@@ -292,6 +529,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::filesystem::remove_all(cold_root);
+  if (http) http->Stop();
+  std::filesystem::remove_all(ts.cold_root);
   return 0;
 }

@@ -39,6 +39,13 @@ struct RequestOutcome {
   double quality = 1.0;        // composed streaming quality factor
   double bytes_sent = 0.0;
   bool answer_correct = false;
+  // Write-back disposition of the miss path (both false on hit paths) —
+  // recorded by the coordinator so metric order matches completion order.
+  bool write_back_done = false;
+  bool write_back_failed = false;
+  // Home node of the context on a multi-node fabric (-1 otherwise): the
+  // telemetry layer's per-node series attribution.
+  int fabric_node = -1;
   // Progressive delivery (§9): quality after the base pass alone, how long
   // after first-token the stream went quiet, and the token fractions left at
   // base-only vs upgraded quality (both fractions 0 on non-progressive runs).

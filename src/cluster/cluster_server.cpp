@@ -114,11 +114,13 @@ std::vector<RequestOutcome> ClusterServer::Serve(std::vector<ClusterRequest> tra
   link_->SetGpuSlots(opts_.num_workers);
   RequestQueue queue(std::move(trace));
 
+  StartTelemetry();
   if (opts_.serve_mode == ServeMode::kThreadPerRequest) {
     ServeThreadPerRequest(queue, n, &outcomes);
   } else {
     ServeEventLoop(queue, n, &outcomes);
   }
+  FinishTelemetry(last_completion_s_);
 
   // Drain background tier work (the cold tier's demotion writer holds
   // evicted bitstreams in RAM until persisted) so RAM is bounded per trace
@@ -282,9 +284,19 @@ void ClusterServer::ServeEventLoop(RequestQueue& queue, size_t n,
   while (in_flight > 0) {
     const SharedLink::Completion c = link_->PopCompletion(in_flight);
     const size_t w = static_cast<size_t>(c.payload >> 32);
+    const size_t slot = static_cast<size_t>(c.payload & 0xffffffffu);
     busy[w] = false;
     free_at[w] = c.free_s;
     --in_flight;
+    // Completion-ordered metric recording: the worker filled the outcome
+    // before CompleteFlow (visible here through the link's mutex), so the
+    // coordinator can record the per-request metrics in deterministic
+    // virtual-time order — the property the time-series sampler needs.
+    // AdvanceTo first: this completion's records belong to the window
+    // containing c.free_s.
+    if (series_) series_->AdvanceTo(c.free_s);
+    RecordOutcomeMetrics((*outcomes)[slot]);
+    OnCompletionTelemetry((*outcomes)[slot]);
     admit_all();  // admit before releasing the hold at c.free_s
     link_->ReleaseHold(c.hold);
   }
@@ -476,6 +488,7 @@ void ClusterServer::ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
   out.refine_delay_s = std::max(0.0, sr.stream_finish_s - sr.load_finish_s);
   out.base_token_fraction = sr.base_token_fraction;
   out.enhanced_token_fraction = sr.enhanced_token_fraction;
+  out.fabric_node = look.home_node;
 
   if (remote) {
     // The interconnect leg of the stream: between queue_wait and the end of
@@ -487,39 +500,31 @@ void ClusterServer::ServeOneEvent(ClusterRequest rq, size_t worker, size_t slot,
   CG_TRACE_VSPAN("cluster", "kv_stream", track, admit_s,
                  admit_s + sr.load_finish_s, "bytes",
                  static_cast<double>(sr.bytes_sent));
-  CG_METRIC_COUNT("cluster.requests", 1);
-  if (hit) {
-    CG_METRIC_COUNT(out.cold_hit ? "cluster.hits.cold" : "cluster.hits.hot", 1);
-  } else if (prefix) {
-    CG_METRIC_COUNT("cluster.hits.prefix", 1);
-  } else {
-    CG_METRIC_COUNT("cluster.misses", 1);
-  }
-  if (remote) CG_METRIC_COUNT("cluster.remote_streams", 1);
-  if (out.slo_violated) CG_METRIC_COUNT("cluster.slo_violations", 1);
-  CG_METRIC_COUNT("cluster.bytes_sent", sr.bytes_sent);
-  CG_METRIC_HIST("cluster.ttft_us", static_cast<uint64_t>(out.ttft_s * 1e6));
-  CG_METRIC_HIST("cluster.queue_delay_us",
-                 static_cast<uint64_t>(queue_delay * 1e6));
+  // The cluster.* metrics for this request are recorded by the COORDINATOR
+  // when it pops this completion (RecordOutcomeMetrics), in deterministic
+  // completion order — a worker-side record here would land at a wall-clock
+  // instant and tear the telemetry sampler's windows.
 
   // Cache-tier mutations happen BEFORE the worker slot is handed back —
   // same reproducibility contract as the legacy path (see ServeOne).
   if (!hit && opts_.write_back_on_miss) {
+    // The encode's real CPU cost is wall-clock work overlapping serving: it
+    // gets a wall span (pid 1). The lifecycle marker on the request's
+    // virtual track is zero-duration at the completion instant — virtual
+    // time is never stretched by machine speed, keeping replayed incident
+    // artifacts byte-identical.
+    CG_TRACE_SPAN("cluster", "write_back_persist");
     tier_->BeginStore(rq.context_id, rq.spec);
     PinGuard write_pin = PinGuard::Acquire(*tier_, rq.context_id);
-    [[maybe_unused]] const uint64_t wb_start_us = obs::Tracer::NowUs();
     try {
       engine_.StoreKV(rq.context_id, rq.spec);
       tier_->Touch(rq.context_id, free_s);
-      CG_METRIC_COUNT("cluster.write_backs", 1);
+      out.write_back_done = true;
     } catch (const std::exception&) {
       tier_->AbortStore(rq.context_id);
-      CG_METRIC_COUNT("cluster.write_back_failures", 1);
+      out.write_back_failed = true;
     }
-    CG_TRACE_VSPAN("cluster", "write_back", track, free_s,
-                   free_s + static_cast<double>(obs::Tracer::NowUs() -
-                                                wb_start_us) *
-                                1e-6);
+    CG_TRACE_VSPAN("cluster", "write_back", track, free_s, free_s);
   }
   // Commit (or trivial skip) settled: the request's terminal event.
   fsm.Feed(RequestEvent::kWriteBackCommitted, free_s);
@@ -662,6 +667,7 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   out.refine_delay_s = std::max(0.0, sr.stream_finish_s - sr.load_finish_s);
   out.base_token_fraction = sr.base_token_fraction;
   out.enhanced_token_fraction = sr.enhanced_token_fraction;
+  out.fabric_node = look.home_node;
 
   if (remote) {
     CG_TRACE_VSPAN("fabric", "remote_fetch", track, admit_s,
@@ -670,20 +676,6 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   CG_TRACE_VSPAN("cluster", "kv_stream", track, admit_s,
                  admit_s + sr.load_finish_s, "bytes",
                  static_cast<double>(sr.bytes_sent));
-  CG_METRIC_COUNT("cluster.requests", 1);
-  if (hit) {
-    CG_METRIC_COUNT(out.cold_hit ? "cluster.hits.cold" : "cluster.hits.hot", 1);
-  } else if (prefix) {
-    CG_METRIC_COUNT("cluster.hits.prefix", 1);
-  } else {
-    CG_METRIC_COUNT("cluster.misses", 1);
-  }
-  if (remote) CG_METRIC_COUNT("cluster.remote_streams", 1);
-  if (out.slo_violated) CG_METRIC_COUNT("cluster.slo_violations", 1);
-  CG_METRIC_COUNT("cluster.bytes_sent", sr.bytes_sent);
-  CG_METRIC_HIST("cluster.ttft_us", static_cast<uint64_t>(out.ttft_s * 1e6));
-  CG_METRIC_HIST("cluster.queue_delay_us",
-                 static_cast<uint64_t>(queue_delay * 1e6));
 
   // Cache-tier mutations happen BEFORE the worker slot is handed back:
   // CompleteFlow is what lets the coordinator admit the next request, so
@@ -706,29 +698,29 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
     // capacity. The write-back itself is best-effort: on failure the context
     // simply stays uncached and the worker carries on.
     PinGuard write_pin = PinGuard::Acquire(*tier_, rq.context_id);
-    [[maybe_unused]] const uint64_t wb_start_us = obs::Tracer::NowUs();
+    // Real CPU cost as a wall span; the virtual lifecycle marker stays
+    // zero-duration at the completion instant (virtual time never stretches
+    // with machine speed — see ServeOneEvent).
+    CG_TRACE_SPAN("cluster", "write_back_persist");
     try {
       engine_.StoreKV(rq.context_id, rq.spec);
       // Put() cannot know virtual time; stamp recency here or the fresh
       // write-back would be the LRU victim.
       tier_->Touch(rq.context_id, free_s);
-      CG_METRIC_COUNT("cluster.write_backs", 1);
+      out.write_back_done = true;
     } catch (const std::exception&) {
       // StoreKV persists through PutBatch, which rolls a failed insert of a
       // previously-absent context back entirely — no half-written context
       // is ever visible. The context simply stays uncached (the guard drops
       // the pin); the tier just gets to retire the unconsumed announcement.
       tier_->AbortStore(rq.context_id);
-      CG_METRIC_COUNT("cluster.write_back_failures", 1);
+      out.write_back_failed = true;
     }
-    // The encode has no virtual-time cost model (it overlaps serving), so
-    // the lifecycle span borrows the measured wall duration: it lands after
-    // the stream on this request's track with its true relative length.
-    CG_TRACE_VSPAN("cluster", "write_back", track, free_s,
-                   free_s + static_cast<double>(obs::Tracer::NowUs() -
-                                                wb_start_us) *
-                                1e-6);
+    CG_TRACE_VSPAN("cluster", "write_back", track, free_s, free_s);
   }
+  // Legacy path: record inline on the worker (no coordinator sampling in
+  // thread-per-request mode).
+  RecordOutcomeMetrics(out);
   const bool keep_pin_for_assembly = hit && opts_.assemble_kv;
   if (look.pinned && !keep_pin_for_assembly) pin.Release();
   link_->CompleteFlow(flow, free_s, PackPayload(worker, slot));
@@ -758,6 +750,97 @@ void ClusterServer::ServeOne(ClusterRequest rq, size_t worker, size_t slot,
   }
 
   out.answer_correct = engine_.GenerateWithKV(rq.spec, sr.quality).correct;
+}
+
+// --- per-request metrics + continuous telemetry ------------------------------
+
+void ClusterServer::RecordOutcomeMetrics(const RequestOutcome& out) {
+  CG_METRIC_COUNT("cluster.requests", 1);
+  if (out.cache_hit) {
+    CG_METRIC_COUNT(out.cold_hit ? "cluster.hits.cold" : "cluster.hits.hot", 1);
+  } else if (out.prefix_hit) {
+    CG_METRIC_COUNT("cluster.hits.prefix", 1);
+  } else {
+    CG_METRIC_COUNT("cluster.misses", 1);
+  }
+  if (out.remote_hit) CG_METRIC_COUNT("cluster.remote_streams", 1);
+  if (out.slo_violated) CG_METRIC_COUNT("cluster.slo_violations", 1);
+  CG_METRIC_COUNT("cluster.bytes_sent",
+                  static_cast<uint64_t>(out.bytes_sent));
+  if (out.write_back_done) CG_METRIC_COUNT("cluster.write_backs", 1);
+  if (out.write_back_failed) CG_METRIC_COUNT("cluster.write_back_failures", 1);
+  CG_METRIC_HIST("cluster.ttft_us", static_cast<uint64_t>(out.ttft_s * 1e6));
+  CG_METRIC_HIST("cluster.queue_delay_us",
+                 static_cast<uint64_t>(out.queue_delay_s * 1e6));
+}
+
+void ClusterServer::StartTelemetry() {
+  series_.reset();
+  monitor_.reset();
+  recorder_.reset();
+  completed_tracks_.clear();
+  last_completed_track_ = 0;
+  last_violated_track_ = 0;
+  last_completion_s_ = 0.0;
+  incident_injected_ = false;
+  const TelemetryOptions& t = opts_.telemetry;
+  if (t.sample_period_s <= 0.0 ||
+      opts_.serve_mode != ServeMode::kEventLoop) {
+    return;
+  }
+  obs::TimeSeriesCollector::Options copts;
+  copts.period_s = t.sample_period_s;
+  copts.max_windows = t.max_windows;
+  copts.include = t.include;
+  series_ = std::make_unique<obs::TimeSeriesCollector>(std::move(copts));
+  monitor_ = std::make_unique<obs::SloMonitor>(t.slo);
+  recorder_ = std::make_unique<obs::FlightRecorder>(t.recorder);
+  series_->set_on_window([this](const obs::WindowRecord& win) {
+    const auto rec = monitor_->OnWindow(win);
+    if (rec && rec->to == obs::AlertLevel::kPage) {
+      // The incident pivots on the most recent SLO-violated completion (the
+      // request that tipped the burn), falling back to the most recent
+      // completion — both fixed in completion order, hence deterministic.
+      const uint64_t offender = last_violated_track_ != 0
+                                    ? last_violated_track_
+                                    : last_completed_track_;
+      CaptureIncident(offender, win.end_s, "page");
+    }
+  });
+  series_->Start(0.0);
+}
+
+void ClusterServer::OnCompletionTelemetry(const RequestOutcome& out) {
+  if (!series_) return;
+  const uint64_t track = TraceTrack(out.request);
+  completed_tracks_.insert(track);
+  last_completed_track_ = track;
+  if (out.slo_violated) last_violated_track_ = track;
+  last_completion_s_ = std::max(last_completion_s_, out.finish_s);
+  if (out.fabric_node >= 0) {
+    // Per-node fabric series, attributed by the coordinator: the fabric's
+    // own per-node counters are worker-recorded and racy to sample.
+    const std::string node = "fabric.node" + std::to_string(out.fabric_node);
+    series_->BumpExternal(node + ".requests", 1);
+    if (out.remote_hit) series_->BumpExternal(node + ".remote_streams", 1);
+  }
+  if (opts_.telemetry.inject_incident_at_s >= 0.0 && !incident_injected_ &&
+      out.finish_s >= opts_.telemetry.inject_incident_at_s) {
+    incident_injected_ = true;
+    CaptureIncident(track, out.finish_s, "injected");
+  }
+}
+
+void ClusterServer::FinishTelemetry(double t_s) {
+  if (series_ && series_->started()) series_->Finish(t_s);
+}
+
+void ClusterServer::CaptureIncident(uint64_t offending_track, double t_s,
+                                    const char* reason) {
+  if (!recorder_) return;
+  recorder_->Capture(offending_track, t_s, reason, [this](uint64_t trk) {
+    return completed_tracks_.count(trk) != 0;
+  });
 }
 
 }  // namespace cachegen

@@ -69,11 +69,17 @@
 #include <utility>
 #include <vector>
 
+#include <set>
+#include <string>
+
 #include "cluster/cluster_metrics.h"
 #include "cluster/request_queue.h"
 #include "cluster/scheduler.h"
 #include "cluster/shared_link.h"
 #include "net/bandwidth_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo_monitor.h"
+#include "obs/timeseries.h"
 #include "serving/engine.h"
 #include "storage/cache_tier.h"
 #include "storage/sharded_kv_store.h"
@@ -93,6 +99,33 @@ class ClusterServer {
     // Legacy one-std::thread-per-request serving with the GPU share frozen
     // at admission. Kept as the bench_event_loop comparison baseline only.
     kThreadPerRequest,
+  };
+
+  // Continuous telemetry over one Serve() run: virtual-time metric windows
+  // (TimeSeriesCollector), multi-window burn-rate alerting (SloMonitor), and
+  // incident capture (FlightRecorder), all driven from the coordinator's
+  // completion loop so every artifact is a pure function of (trace, options).
+  struct TelemetryOptions {
+    // Virtual-time sampling window; <= 0 disables the continuous layer.
+    double sample_period_s = 0.0;
+    size_t max_windows = 4096;
+    // Metric-name prefixes sampled into the time-series. Restricted by
+    // default to series the coordinator itself records in completion order —
+    // worker-recorded metrics (codec wall timings, channel depth gauges) are
+    // wall-order racy and would break replay byte-identity.
+    std::vector<std::string> include = {
+        "cluster.admission_batches", "cluster.bytes_sent",
+        "cluster.hits.",             "cluster.in_flight",
+        "cluster.misses",            "cluster.queue_delay_us",
+        "cluster.remote_streams",    "cluster.requests",
+        "cluster.slo_violations",    "cluster.ttft_us",
+        "cluster.write_back",        "obs.slo.",
+    };
+    obs::SloMonitor::Options slo;
+    obs::FlightRecorder::Options recorder;
+    // Test/CI hook: capture an incident at the first completion whose finish
+    // instant reaches this virtual time (< 0 disables).
+    double inject_incident_at_s = -1.0;
   };
 
   struct Options {
@@ -130,6 +163,10 @@ class ClusterServer {
     // hit and a miss (the bench_cache_fabric CI gate).
     double remote_read_gbps = 2.0;
     double remote_rtt_s = 0.01;
+    // Continuous telemetry (event-loop mode only; ignored in the legacy
+    // thread-per-request baseline, whose workers record metrics in wall
+    // order and cannot be sampled deterministically).
+    TelemetryOptions telemetry;
   };
 
   // The general form: serve through any CacheTier arrangement. `engine`
@@ -168,6 +205,13 @@ class ClusterServer {
   // Link of the last Serve() run (null before the first run).
   const SharedLink* link() const { return link_.get(); }
 
+  // Continuous-telemetry state of the last Serve() run (null before the
+  // first run, or when telemetry.sample_period_s <= 0, or in the legacy
+  // thread-per-request mode).
+  const obs::TimeSeriesCollector* timeseries() const { return series_.get(); }
+  const obs::SloMonitor* slo_monitor() const { return monitor_.get(); }
+  const obs::FlightRecorder* flight_recorder() const { return recorder_.get(); }
+
  private:
   struct WorkChannel;  // admission + continuation queues of one event loop
 
@@ -186,11 +230,36 @@ class ClusterServer {
                 SharedLink::HoldId admit_hold, double gpu_share,
                 std::vector<RequestOutcome>* outcomes);
 
+  // The per-request cluster.* metric block, shared by both serve paths. In
+  // event-loop mode the COORDINATOR calls it per popped completion (after
+  // TimeSeriesCollector::AdvanceTo), so metric order matches completion
+  // order and windows are deterministic; the legacy path calls it inline on
+  // the worker.
+  static void RecordOutcomeMetrics(const RequestOutcome& out);
+
+  // Continuous-telemetry plumbing (coordinator thread only).
+  void StartTelemetry();
+  void OnCompletionTelemetry(const RequestOutcome& out);
+  void FinishTelemetry(double t_s);
+  void CaptureIncident(uint64_t offending_track, double t_s,
+                       const char* reason);
+
   Engine& engine_;
   std::shared_ptr<CacheTier> tier_;
   BandwidthTrace capacity_;
   Options opts_;
   std::unique_ptr<SharedLink> link_;
+
+  // Telemetry state of the current/last run, touched only by the
+  // coordinator thread of Serve() (see TelemetryOptions).
+  std::unique_ptr<obs::TimeSeriesCollector> series_;
+  std::unique_ptr<obs::SloMonitor> monitor_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::set<uint64_t> completed_tracks_;  // FlightRecorder capture predicate
+  uint64_t last_completed_track_ = 0;
+  uint64_t last_violated_track_ = 0;
+  double last_completion_s_ = 0.0;
+  bool incident_injected_ = false;
 };
 
 }  // namespace cachegen

@@ -235,6 +235,7 @@ TierLookup CacheFabric::LookupAndPin(const std::string& context_id,
   // prefix pulled chunks from peer replicas.
   const bool covered = look.hit() || look.covered_chunks > 0;
   look.any_remote = covered && (front != home || tl_remote_fetches > 0);
+  look.home_node = static_cast<int>(home);
 
   CG_METRIC_COUNT("fabric.lookups", 1);
   if (look.hit()) {

@@ -43,8 +43,11 @@ std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
   std::set<std::pair<int, uint64_t>> tracks;
   for (const TraceEvent& ev : events) tracks.emplace(PidOf(ev), ev.track);
   for (const auto& [pid, tid] : tracks) {
+    // Virtual track 0 is reserved (request ids start at 1): it carries
+    // cluster-scope instants such as SLO alert transitions.
     AppendMetadataEvent(w, "thread_name", pid, tid,
                         pid == kWallPid ? "thread " + std::to_string(tid)
+                        : tid == 0      ? std::string("cluster alerts")
                                         : "request " + std::to_string(tid));
   }
 
@@ -105,6 +108,27 @@ void AppendMetricsJson(JsonWriter& w, const MetricsRegistry::Snapshot& snap) {
     w.Field("p50", h.Quantile(0.50));
     w.Field("p95", h.Quantile(0.95));
     w.Field("p99", h.Quantile(0.99));
+    // Full cumulative bucket array so offline tooling can re-aggregate
+    // without trusting the point-estimates above: [le, cumulative_count]
+    // pairs for every non-empty bucket, then the +Inf total. `le` is the
+    // largest value the bucket admits (buckets are [lower, upper)).
+    w.BeginArray("buckets");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      const uint64_t upper = HistBucketUpper(i);
+      if (upper == 0) continue;  // saturated top bucket: folded into +Inf
+      w.BeginArray();
+      w.Value(upper - 1);
+      w.Value(cumulative);
+      w.EndArray();
+    }
+    w.BeginArray();
+    w.Value("+Inf");
+    w.Value(h.count);
+    w.EndArray();
+    w.EndArray();
     w.EndObject();
   }
   w.EndObject();

@@ -1,0 +1,206 @@
+#include "obs/exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "obs/names.h"
+
+namespace cachegen::obs {
+
+namespace {
+
+bool InCatalog(const std::string& name) {
+  static const std::set<std::string>* catalog = [] {
+    auto* s = new std::set<std::string>();
+    for (size_t i = 0; i < names::kMetricNameCount; ++i) {
+      s->insert(names::kMetricNames[i]);
+    }
+    return s;
+  }();
+  return catalog->count(name) != 0;
+}
+
+bool Exported(const std::string& name, const ExpositionOptions& opts) {
+  if (opts.exclude.count(name) != 0) return false;
+  return !opts.catalog_only || InCatalog(name);
+}
+
+void AppendHeader(std::string& out, const std::string& family,
+                  const char* kind, const std::string& source) {
+  out += "# HELP " + family + " cachegen " + kind + " " + source + "\n";
+  out += "# TYPE " + family + " ";
+  out += kind;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "cachegen_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsRegistry::Snapshot& snap,
+                             const ExpositionOptions& opts) {
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    if (!Exported(name, opts)) continue;
+    const std::string family = PrometheusName(name) + "_total";
+    AppendHeader(out, family, "counter", name);
+    out += family + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (!Exported(name, opts)) continue;
+    const std::string family = PrometheusName(name);
+    AppendHeader(out, family, "gauge", name);
+    out += family + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (!Exported(name, opts)) continue;
+    const std::string family = PrometheusName(name);
+    AppendHeader(out, family, "histogram", name);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      const uint64_t upper = HistBucketUpper(i);
+      if (upper == 0) continue;  // saturated top bucket: folded into +Inf
+      out += family + "_bucket{le=\"" + std::to_string(upper - 1) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += family + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += family + "_sum " + std::to_string(h.sum) + "\n";
+    out += family + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+bool WritePrometheusText(const std::filesystem::path& path,
+                         const ExpositionOptions& opts) {
+  const std::string doc =
+      ToPrometheusText(MetricsRegistry::Instance().SnapshotAll(), opts);
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << doc;
+  f.flush();
+  return !f.fail();
+}
+
+// --- MetricsHttpServer -------------------------------------------------------
+
+namespace {
+
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone: nothing sensible left to do
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(ExpositionOptions opts)
+    : opts_(std::move(opts)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+bool MetricsHttpServer::Start(uint16_t port) {
+  if (listen_fd_ >= 0) return false;  // already running
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 16) != 0) {
+    close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close(fd);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  // Unblock accept(): shutdown makes it return on every platform we target;
+  // the loop then notices the fd is gone and exits.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void MetricsHttpServer::ServeLoop() {
+  for (;;) {
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket shut down (Stop) or broken
+    }
+    char buf[2048];
+    const ssize_t n = recv(conn, buf, sizeof(buf) - 1, 0);
+    std::string path;
+    if (n > 0) {
+      buf[n] = '\0';
+      // "GET <path> HTTP/1.x" — everything else 404s below.
+      const char* sp1 = std::strchr(buf, ' ');
+      if (sp1 != nullptr && std::strncmp(buf, "GET ", 4) == 0) {
+        const char* sp2 = std::strchr(sp1 + 1, ' ');
+        if (sp2 != nullptr) path.assign(sp1 + 1, sp2);
+      }
+    }
+    std::string response;
+    if (path == "/metrics") {
+      response = HttpResponse(
+          "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+          ToPrometheusText(MetricsRegistry::Instance().SnapshotAll(), opts_));
+    } else if (path == "/healthz") {
+      response = HttpResponse("200 OK", "text/plain; charset=utf-8", "ok\n");
+    } else {
+      response = HttpResponse("404 Not Found", "text/plain; charset=utf-8",
+                              "not found\n");
+    }
+    SendAll(conn, response);
+    close(conn);
+  }
+}
+
+}  // namespace cachegen::obs

@@ -1,0 +1,78 @@
+// Prometheus text-format exposition for the MetricsRegistry, two ways:
+//   * ToPrometheusText / WritePrometheusText — render a snapshot as the
+//     classic text format (version 0.0.4): HELP/TYPE per family, counters
+//     as <name>_total, gauges as-is, histograms as full cumulative
+//     le-bucket series with _sum/_count. Validated by ci/check_exposition.py.
+//   * MetricsHttpServer — a deliberately tiny HTTP/1.0 endpoint (blocking
+//     accept loop on one background thread, one request per connection,
+//     Connection: close) serving /metrics and /healthz on 127.0.0.1. This is
+//     scrape-compatible with a real Prometheus; it is NOT a general web
+//     server and never needs to be one.
+//
+// Name mapping: every name gets the "cachegen_" namespace prefix and
+// non-[a-zA-Z0-9_:] characters become '_' ("cluster.ttft_us" ->
+// "cachegen_cluster_ttft_us"). By default only names in the
+// src/obs/names.h catalog are exported (catalog_only) — dynamically
+// registered series (e.g. the fabric's per-node counters) stay out of the
+// exposition, which is exactly what check_exposition's catalog rule
+// enforces. `exclude` additionally drops named metrics — the deterministic
+// run artifacts use it to omit wall-clock-measured histograms.
+//
+// le boundaries: registry histogram buckets are [lower, upper) over
+// integers, so the largest value bucket i admits is upper-1 — that is the
+// EXACT Prometheus `le` (inclusive) bound, no approximation. Only non-empty
+// buckets are emitted, plus the mandatory terminal +Inf.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace cachegen::obs {
+
+struct ExpositionOptions {
+  bool catalog_only = true;
+  std::set<std::string> exclude;  // registry names (pre-sanitization)
+};
+
+// Sanitized family name for a registry metric ("cachegen_" prefix, illegal
+// characters replaced). Counters additionally get "_total" in the output.
+std::string PrometheusName(const std::string& name);
+
+std::string ToPrometheusText(const MetricsRegistry::Snapshot& snap,
+                             const ExpositionOptions& opts = {});
+
+// Snapshot the process registry and write it to `path`.
+bool WritePrometheusText(const std::filesystem::path& path,
+                         const ExpositionOptions& opts = {});
+
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(ExpositionOptions opts = {});
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start serving.
+  // Returns false if the socket could not be set up.
+  bool Start(uint16_t port);
+  // The bound port (after a successful Start).
+  uint16_t port() const { return port_; }
+  // Idempotent; joins the serving thread.
+  void Stop();
+
+ private:
+  void ServeLoop();
+
+  ExpositionOptions opts_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace cachegen::obs

@@ -1,0 +1,104 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace cachegen::obs {
+
+namespace {
+
+uint64_t ToUs(double t_s) {
+  if (!(t_s > 0.0)) return 0;
+  return static_cast<uint64_t>(std::llround(t_s * 1e6));
+}
+
+int CompareCStr(const char* a, const char* b) {
+  return std::strcmp(a ? a : "", b ? b : "");
+}
+
+// Total order independent of ring/thread interleaving, so a replayed run
+// serializes the same event set identically.
+bool EventLess(const TraceEvent& a, const TraceEvent& b) {
+  if (a.track != b.track) return a.track < b.track;
+  if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+  if (a.dur_us != b.dur_us) return a.dur_us < b.dur_us;
+  if (a.phase != b.phase) return a.phase < b.phase;
+  if (const int c = CompareCStr(a.cat, b.cat)) return c < 0;
+  if (const int c = CompareCStr(a.name, b.name)) return c < 0;
+  if (a.arg_value != b.arg_value) return a.arg_value < b.arg_value;
+  return a.request_id < b.request_id;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Options opts) : opts_(opts) {}
+
+bool FlightRecorder::Capture(
+    uint64_t offending_track, double t_s, std::string reason,
+    const std::function<bool(uint64_t)>& track_allowed) {
+  if (incidents_.size() >= opts_.max_incidents) {
+    ++dropped_triggers_;
+    return false;
+  }
+
+  const uint64_t lo_us = ToUs(t_s - opts_.before_s);
+  const uint64_t hi_us = ToUs(t_s + opts_.after_s);
+
+  std::vector<TraceEvent> virt;
+  for (const TraceEvent& ev : Tracer::Instance().Snapshot()) {
+    if (ev.clock == TraceClock::kVirtual) virt.push_back(ev);
+  }
+
+  // Pass 1: which admitted tracks touch the window.
+  std::set<uint64_t> tracks{offending_track, 0};
+  for (const TraceEvent& ev : virt) {
+    if (ev.track == 0 || ev.track == offending_track) continue;
+    if (track_allowed && !track_allowed(ev.track)) continue;  // null: allow all
+    if (ev.ts_us <= hi_us && ev.ts_us + ev.dur_us >= lo_us) {
+      tracks.insert(ev.track);
+    }
+  }
+
+  // Pass 2: complete tracks for requests, window-filtered track 0.
+  std::vector<TraceEvent> picked;
+  for (const TraceEvent& ev : virt) {
+    if (tracks.count(ev.track) == 0) continue;
+    if (ev.track == 0 && (ev.ts_us > hi_us || ev.ts_us < lo_us)) continue;
+    picked.push_back(ev);
+  }
+  std::sort(picked.begin(), picked.end(), EventLess);
+
+  Incident inc;
+  inc.offending_track = offending_track;
+  inc.t_s = t_s;
+  inc.window_start_s = t_s - opts_.before_s > 0.0 ? t_s - opts_.before_s : 0.0;
+  inc.window_end_s = t_s + opts_.after_s;
+  inc.reason = std::move(reason);
+  inc.num_events = picked.size();
+  inc.num_tracks = tracks.size();
+  inc.trace_json = TraceToChromeJson(picked);
+  incidents_.push_back(std::move(inc));
+  return true;
+}
+
+bool FlightRecorder::WriteIncidents(const std::filesystem::path& dir) const {
+  for (size_t i = 0; i < incidents_.size(); ++i) {
+    const std::filesystem::path path =
+        dir / ("incident_" + std::to_string(i) + ".json");
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) return false;
+    f << incidents_[i].trace_json << "\n";
+    f.flush();
+    if (f.fail()) return false;
+  }
+  return true;
+}
+
+}  // namespace cachegen::obs

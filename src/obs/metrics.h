@@ -67,6 +67,15 @@ class Gauge {
  public:
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
   void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  // Monotone high-water update: the gauge only moves up (racing Max calls
+  // settle on the largest value; mixing Max with Set/Add is the caller's
+  // problem).
+  void Max(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   int64_t Value() const { return v_.load(std::memory_order_relaxed); }
   void Reset() { Set(0); }
 
@@ -193,6 +202,13 @@ class MetricsRegistry {
     cg_obs_g.Add(static_cast<int64_t>(d));                           \
   } while (0)
 
+#define CG_METRIC_GAUGE_MAX(name, v)                                 \
+  do {                                                               \
+    static ::cachegen::obs::Gauge& cg_obs_g =                        \
+        ::cachegen::obs::MetricsRegistry::Instance().GetGauge(name); \
+    cg_obs_g.Max(static_cast<int64_t>(v));                           \
+  } while (0)
+
 #define CG_METRIC_HIST(name, v)                                          \
   do {                                                                   \
     static ::cachegen::obs::Histogram& cg_obs_h =                        \
@@ -205,6 +221,7 @@ class MetricsRegistry {
 #define CG_METRIC_COUNT(name, n) do {} while (0)
 #define CG_METRIC_GAUGE_SET(name, v) do {} while (0)
 #define CG_METRIC_GAUGE_ADD(name, d) do {} while (0)
+#define CG_METRIC_GAUGE_MAX(name, v) do {} while (0)
 #define CG_METRIC_HIST(name, v) do {} while (0)
 
 #endif  // CACHEGEN_OBS_DISABLED

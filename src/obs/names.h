@@ -57,6 +57,13 @@ inline constexpr const char* kMetricNames[] = {
     "net.cold_reads",
     "net.granted_bytes",
     "net.grants",
+    "obs.slo.fast_burn_x1000",
+    "obs.slo.slow_burn_x1000",
+    "obs.slo.state",
+    "obs.slo.transitions",
+    "obs.timeseries.windows",
+    "obs.trace.dropped_events",
+    "obs.trace.ring_highwater_events",
     "pool.jobs",
     "pool.submitted",
     "prefix.deduped_chunks",
@@ -83,6 +90,7 @@ inline constexpr const char* kMetricNames[] = {
 // cg-lint: trace-cat-catalog-begin
 inline constexpr const char* kTraceCategories[] = {
     "cluster",
+    "cluster.alert",
     "cluster.event",
     "codec",
     "fabric",

@@ -1,0 +1,172 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cachegen::obs {
+
+TimeSeriesCollector::TimeSeriesCollector(Options opts)
+    : opts_(std::move(opts)) {
+  if (opts_.max_windows == 0) opts_.max_windows = 1;
+}
+
+bool TimeSeriesCollector::Included(const std::string& name) const {
+  if (opts_.include.empty()) return true;
+  for (const std::string& prefix : opts_.include) {
+    if (name.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+void TimeSeriesCollector::Start(double t0_s) {
+  if (opts_.period_s <= 0.0) return;
+  started_ = true;
+  window_start_s_ = t0_s;
+  window_end_s_ = t0_s + opts_.period_s;
+  next_index_ = 0;
+  windows_.clear();
+  dropped_windows_ = 0;
+  external_.clear();
+  external_prev_.clear();
+
+  prev_ = Baseline{};
+  const MetricsRegistry::Snapshot snap =
+      MetricsRegistry::Instance().SnapshotAll();
+  for (const auto& [name, v] : snap.counters) {
+    if (Included(name)) prev_.counters[name] = v;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (Included(name)) prev_.histograms[name] = h;
+  }
+}
+
+void TimeSeriesCollector::AdvanceTo(double t_s) {
+  if (!started_) return;
+  while (t_s >= window_end_s_) {
+    CloseWindow(window_end_s_);
+    window_start_s_ = window_end_s_;
+    window_end_s_ += opts_.period_s;
+  }
+}
+
+void TimeSeriesCollector::Finish(double t_s) {
+  if (!started_) return;
+  AdvanceTo(t_s);
+  // A trailing partial window so end-of-run activity is not lost — emitted
+  // even when zero-length: when the run ends exactly on a window boundary,
+  // AdvanceTo already closed that boundary's window and the final
+  // completion's records sit in the not-yet-closed successor.
+  CloseWindow(std::max(t_s, window_start_s_));
+  started_ = false;
+}
+
+void TimeSeriesCollector::BumpExternal(const std::string& name, uint64_t n) {
+  if (!started_) return;
+  external_[name] += n;
+}
+
+void TimeSeriesCollector::CloseWindow(double end_s) {
+  WindowRecord win;
+  win.start_s = window_start_s_;
+  win.end_s = end_s;
+  win.index = next_index_++;
+
+  const MetricsRegistry::Snapshot snap =
+      MetricsRegistry::Instance().SnapshotAll();
+  Baseline cur;
+  for (const auto& [name, v] : snap.counters) {
+    if (!Included(name)) continue;
+    cur.counters[name] = v;
+    const auto it = prev_.counters.find(name);
+    const uint64_t before = it == prev_.counters.end() ? 0 : it->second;
+    win.counters[name] = v >= before ? v - before : 0;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (Included(name)) win.gauges[name] = v;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (!Included(name)) continue;
+    cur.histograms[name] = h;
+    const auto it = prev_.histograms.find(name);
+    if (it == prev_.histograms.end()) {
+      win.histograms[name] = h;
+      continue;
+    }
+    const HistogramSnapshot& before = it->second;
+    HistogramSnapshot delta;
+    delta.count = h.count >= before.count ? h.count - before.count : 0;
+    delta.sum = h.sum >= before.sum ? h.sum - before.sum : 0;
+    delta.buckets.resize(h.buckets.size(), 0);
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      const uint64_t b = i < before.buckets.size() ? before.buckets[i] : 0;
+      delta.buckets[i] = h.buckets[i] >= b ? h.buckets[i] - b : 0;
+    }
+    win.histograms[name] = std::move(delta);
+  }
+  prev_ = std::move(cur);
+
+  for (const auto& [name, v] : external_) {
+    const auto it = external_prev_.find(name);
+    const uint64_t before = it == external_prev_.end() ? 0 : it->second;
+    win.counters[name] = v - before;
+  }
+  external_prev_ = external_;
+
+  windows_.push_back(std::move(win));
+  if (windows_.size() > opts_.max_windows) {
+    windows_.pop_front();
+    ++dropped_windows_;
+  }
+  CG_METRIC_COUNT("obs.timeseries.windows", 1);
+  if (on_window_) on_window_(windows_.back());
+}
+
+void TimeSeriesCollector::ToJson(JsonWriter& w) const {
+  w.Field("schema", "cachegen-timeseries-v1");
+  w.Field("period_s", opts_.period_s);
+  w.Field("dropped_windows", dropped_windows_);
+  w.BeginArray("windows");
+  for (const WindowRecord& win : windows_) {
+    const double len = win.end_s - win.start_s;
+    w.BeginObject();
+    w.Field("index", win.index);
+    w.Field("start_s", win.start_s);
+    w.Field("end_s", win.end_s);
+    w.BeginObject("counters");
+    for (const auto& [name, v] : win.counters) w.Field(name, v);
+    w.EndObject();
+    w.BeginObject("rates");
+    for (const auto& [name, v] : win.counters) {
+      w.Field(name, len > 0.0 ? static_cast<double>(v) / len : 0.0);
+    }
+    w.EndObject();
+    w.BeginObject("gauges");
+    for (const auto& [name, v] : win.gauges) w.Field(name, v);
+    w.EndObject();
+    w.BeginObject("histograms");
+    for (const auto& [name, h] : win.histograms) {
+      if (h.count == 0) continue;  // quiet windows: omit empty histograms
+      w.BeginObject(name);
+      w.Field("count", h.count);
+      w.Field("sum", h.sum);
+      w.Field("mean", h.Mean());
+      w.Field("p50", h.Quantile(0.50));
+      w.Field("p95", h.Quantile(0.95));
+      w.Field("p99", h.Quantile(0.99));
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+bool TimeSeriesCollector::WriteJson(const std::filesystem::path& path) const {
+  JsonWriter w;
+  w.BeginObject();
+  ToJson(w);
+  w.EndObject();
+  return w.WriteFile(path);
+}
+
+}  // namespace cachegen::obs

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace cachegen::obs {
 
 namespace {
@@ -69,18 +71,33 @@ Tracer::Ring& Tracer::LocalRing() {
 void Tracer::Record(TraceEvent ev) {
   Ring& ring = LocalRing();
   if (ev.request_id == 0) ev.request_id = ScopedRequestId::Current();
-  MutexLock lock(ring.mu);
-  if (ev.clock == TraceClock::kWall) ev.track = ring.track;
-  if (ring.events.size() < ring.capacity) {
-    ring.events.push_back(ev);
-    ring.head = ring.events.size() % ring.capacity;
-    ring.size = ring.events.size();
-    return;
+  bool overflowed = false;
+  size_t new_size = 0;
+  {
+    MutexLock lock(ring.mu);
+    if (ev.clock == TraceClock::kWall) ev.track = ring.track;
+    if (ring.events.size() < ring.capacity) {
+      ring.events.push_back(ev);
+      ring.head = ring.events.size() % ring.capacity;
+      ring.size = ring.events.size();
+      new_size = ring.size;
+    } else {
+      // Full: overwrite the oldest slot.
+      ring.events[ring.head] = ev;
+      ring.head = (ring.head + 1) % ring.capacity;
+      ++ring.dropped;
+      overflowed = true;
+    }
   }
-  // Full: overwrite the oldest slot.
-  ring.events[ring.head] = ev;
-  ring.head = (ring.head + 1) % ring.capacity;
-  ++ring.dropped;
+  // Silent trace loss must itself be observable: ring overflow counts as a
+  // metric, ring fill as a high-water gauge. Recorded outside ring.mu — the
+  // registry mutex each macro takes on first use must never nest inside a
+  // ring lock.
+  if (overflowed) {
+    CG_METRIC_COUNT("obs.trace.dropped_events", 1);
+  } else {
+    CG_METRIC_GAUGE_MAX("obs.trace.ring_highwater_events", new_size);
+  }
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {

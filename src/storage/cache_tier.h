@@ -63,6 +63,9 @@ struct TierLookup {
   bool any_remote = false;
   // The lookup took pins the caller must release with exactly one Unpin.
   bool pinned = false;
+  // Owning node of the context on a multi-node fabric (-1 on single-node
+  // tiers) — the serving layer's per-node telemetry attribution.
+  int home_node = -1;
 
   bool hit() const { return tier != KVTier::kMiss; }
   // Partial-prefix scenario: not a full hit, but a usable cached prefix.
